@@ -1,0 +1,79 @@
+package mot
+
+import (
+	"fmt"
+
+	"repro/internal/mobility"
+	"repro/internal/stun"
+	"repro/internal/treedir"
+	"repro/internal/zdat"
+)
+
+// Directory is the common surface of the MOT tracker and the baseline
+// trackers, for side-by-side comparisons.
+type Directory interface {
+	Publish(o ObjectID, at NodeID) error
+	Move(o ObjectID, to NodeID) error
+	Query(from NodeID, o ObjectID) (NodeID, float64, error)
+	Location(o ObjectID) (NodeID, bool)
+	Meter() CostMeter
+	LoadByNode() []int
+}
+
+var _ Directory = (*Tracker)(nil)
+
+// EdgeRates is the detection-rate traffic knowledge the traffic-conscious
+// baselines consume: how often objects cross each sensor adjacency.
+type EdgeRates = map[mobility.EdgeKey]float64
+
+// baseline adapts a treedir.Directory to the Directory interface.
+type baseline struct {
+	d *treedir.Directory
+	n int
+}
+
+func (b baseline) Publish(o ObjectID, at NodeID) error { return b.d.Publish(o, at) }
+func (b baseline) Move(o ObjectID, to NodeID) error    { return b.d.Move(o, to) }
+func (b baseline) Query(from NodeID, o ObjectID) (NodeID, float64, error) {
+	return b.d.Query(from, o)
+}
+func (b baseline) Location(o ObjectID) (NodeID, bool) { return b.d.Location(o) }
+func (b baseline) Meter() CostMeter                   { return b.d.Meter() }
+func (b baseline) LoadByNode() []int                  { return b.d.LoadByNode(b.n) }
+
+// NewSTUN builds the STUN baseline (Kung & Vlah 2003): a Drain-And-Balance
+// hierarchy constructed from the given detection rates, with sink-initiated
+// queries. Unlike MOT it is traffic-conscious — it needs rates up front.
+func NewSTUN(g *Graph, m *Metric, rates EdgeRates) (Directory, error) {
+	d, err := stun.New(g, m, rates)
+	if err != nil {
+		return nil, fmt.Errorf("mot: %w", err)
+	}
+	return baseline{d: d, n: g.N()}, nil
+}
+
+// ZDATOptions configures the Z-DAT baseline.
+type ZDATOptions struct {
+	// ZoneDepth is the recursive quadrant-division depth (4^depth zones).
+	ZoneDepth int
+	// Shortcuts enables the shortcuts query variant (Liu et al. 2008).
+	Shortcuts bool
+	// Sink is the tree root sensor. Set it to mot.Undefined for the
+	// metric center (the natural sink placement); note that the zero
+	// value selects sensor 0.
+	Sink NodeID
+}
+
+// NewZDAT builds the Z-DAT baseline (Lin et al. 2006): a zone-based
+// deviation-avoidance spanning tree over the detection rates.
+func NewZDAT(g *Graph, m *Metric, rates EdgeRates, opt ZDATOptions) (Directory, error) {
+	d, err := zdat.New(g, m, rates, zdat.Config{
+		ZoneDepth: opt.ZoneDepth,
+		Shortcuts: opt.Shortcuts,
+		Sink:      opt.Sink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mot: %w", err)
+	}
+	return baseline{d: d, n: g.N()}, nil
+}

@@ -1,0 +1,218 @@
+package mot
+
+// Benchmark harness: one benchmark per evaluation figure of the paper
+// (Figs. 4–15), each regenerating a scaled-down instance of that figure's
+// experiment and reporting the figure's headline metrics via b.ReportMetric
+// (cost ratios as "<alg>:ratio", load statistics as "maxload"/"over10").
+// Run the full-scale figures with cmd/motsim instead; these benches keep
+// the regeneration path exercised and timed.
+//
+// The Ablation* benchmarks quantify the design choices DESIGN.md calls out:
+// parent-set probing, special parents, load balancing's de Bruijn
+// surcharge, and the concurrent period gate.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSizes keeps figure benches fast while spanning a 25x size range.
+var benchSizes = []int{16, 100, 400}
+
+func benchCostFigure(b *testing.B, objects int, concurrent, query bool) {
+	b.Helper()
+	cfg := experiments.CostRatioConfig{
+		Sizes:          benchSizes,
+		Objects:        objects,
+		MovesPerObject: 60,
+		Queries:        60,
+		Seeds:          1,
+		Concurrent:     concurrent,
+		LoadBalance:    true,
+	}
+	var res *experiments.CostRatioResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunCostRatio(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(res.Sizes) - 1
+	table := res.MaintenanceMean
+	if query {
+		table = res.QueryMean
+	}
+	for a, alg := range res.Algorithms {
+		b.ReportMetric(table[a][last], alg+":ratio")
+	}
+}
+
+func benchLoadFigure(b *testing.B, baseline string, movesPerObject int) {
+	b.Helper()
+	cfg := experiments.LoadConfig{
+		Nodes:          256,
+		Objects:        60,
+		MovesPerObject: movesPerObject,
+		Baseline:       baseline,
+		Seed:           1,
+	}
+	var res *experiments.LoadResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.MOT.Max), "MOT:maxload")
+	b.ReportMetric(float64(res.MOT.AboveTen), "MOT:over10")
+	b.ReportMetric(float64(res.Baseline.Max), baseline+":maxload")
+	b.ReportMetric(float64(res.Baseline.AboveTen), baseline+":over10")
+}
+
+// Fig. 4: maintenance cost ratio, one-by-one, 100 objects (scaled).
+func BenchmarkFig04MaintenanceOneByOne100(b *testing.B) { benchCostFigure(b, 20, false, false) }
+
+// Fig. 5: maintenance cost ratio, one-by-one, 1000 objects (scaled).
+func BenchmarkFig05MaintenanceOneByOne1000(b *testing.B) { benchCostFigure(b, 60, false, false) }
+
+// Fig. 6: query cost ratio, one-by-one, 100 objects (scaled).
+func BenchmarkFig06QueryOneByOne100(b *testing.B) { benchCostFigure(b, 20, false, true) }
+
+// Fig. 7: query cost ratio, one-by-one, 1000 objects (scaled).
+func BenchmarkFig07QueryOneByOne1000(b *testing.B) { benchCostFigure(b, 60, false, true) }
+
+// Fig. 8: load/node, MOT vs STUN, right after initialization.
+func BenchmarkFig08LoadVsSTUNInit(b *testing.B) { benchLoadFigure(b, experiments.AlgSTUN, 0) }
+
+// Fig. 9: load/node, MOT vs STUN, after 10 moves/object.
+func BenchmarkFig09LoadVsSTUNMoves(b *testing.B) { benchLoadFigure(b, experiments.AlgSTUN, 10) }
+
+// Fig. 10: load/node, MOT vs Z-DAT, right after initialization.
+func BenchmarkFig10LoadVsZDATInit(b *testing.B) { benchLoadFigure(b, experiments.AlgZDAT, 0) }
+
+// Fig. 11: load/node, MOT vs Z-DAT, after 10 moves/object.
+func BenchmarkFig11LoadVsZDATMoves(b *testing.B) { benchLoadFigure(b, experiments.AlgZDAT, 10) }
+
+// Fig. 12: maintenance cost ratio, concurrent, 100 objects (scaled).
+func BenchmarkFig12MaintenanceConcurrent100(b *testing.B) { benchCostFigure(b, 20, true, false) }
+
+// Fig. 13: maintenance cost ratio, concurrent, 1000 objects (scaled).
+func BenchmarkFig13MaintenanceConcurrent1000(b *testing.B) { benchCostFigure(b, 60, true, false) }
+
+// Fig. 14: query cost ratio, concurrent, 100 objects (scaled).
+func BenchmarkFig14QueryConcurrent100(b *testing.B) { benchCostFigure(b, 20, true, true) }
+
+// Fig. 15: query cost ratio, concurrent, 1000 objects (scaled).
+func BenchmarkFig15QueryConcurrent1000(b *testing.B) { benchCostFigure(b, 60, true, true) }
+
+// --- ablations ----------------------------------------------------------
+
+// replayRatios runs a fixed workload through one tracker configuration and
+// reports its mean ratios.
+func ablate(b *testing.B, opt Options) {
+	b.Helper()
+	g := Grid(12, 12)
+	m := NewMetric(g)
+	w, err := GenerateWorkload(g, m, WorkloadConfig{Objects: 12, MovesPerObject: 80, Queries: 80, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var meter CostMeter
+	for i := 0; i < b.N; i++ {
+		tr, err := NewTrackerWithMetric(g, m, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meter, err = Replay(tr, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(meter.MaintMeanRatio(), "maint:ratio")
+	b.ReportMetric(meter.QueryMeanRatio(), "query:ratio")
+	b.ReportMetric(meter.SpecialCost, "sdl:cost")
+	b.ReportMetric(meter.LBRouteCost, "debruijn:cost")
+}
+
+// Baseline MOT configuration (simple paths, sigma=2, no load balancing).
+func BenchmarkAblationBase(b *testing.B) {
+	ablate(b, Options{Seed: 7, SpecialParentOffset: 2})
+}
+
+// Parent-set probing (§3.1): Lemma 2.1 meeting levels at a constant-factor
+// cost increase.
+func BenchmarkAblationParentSets(b *testing.B) {
+	ablate(b, Options{Seed: 7, SpecialParentOffset: 2, UseParentSets: true})
+}
+
+// Special parents disabled: queries lose the fragmentation shortcut.
+func BenchmarkAblationNoSpecialParents(b *testing.B) {
+	ablate(b, Options{Seed: 7, SpecialParentOffset: -1})
+}
+
+// Load balancing (§5) with the surcharge metered separately (the default,
+// figure-faithful accounting).
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	ablate(b, Options{Seed: 7, SpecialParentOffset: 2, LoadBalance: true})
+}
+
+// Load balancing with the routing surcharge folded into operation costs —
+// the Corollary 5.2 pricing.
+func BenchmarkAblationLoadBalanceCounted(b *testing.B) {
+	ablate(b, Options{Seed: 7, SpecialParentOffset: 2, LoadBalance: true, CountLBRouteCost: true})
+}
+
+// General-network overlay (§6) on the same grid.
+func BenchmarkAblationGeneralOverlay(b *testing.B) {
+	ablate(b, Options{GeneralOverlay: true, SpecialParentOffset: 2})
+}
+
+// Concurrent period gate (§4.1.2) on versus off.
+func BenchmarkAblationPeriodSync(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := Grid(10, 10)
+			m := NewMetric(g)
+			w, err := GenerateWorkload(g, m, WorkloadConfig{Objects: 8, MovesPerObject: 40, Queries: 40, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *ConcurrentResult
+			for i := 0; i < b.N; i++ {
+				res, err = RunConcurrent(g, w, ConcurrentOptions{Seed: 9, PeriodSync: on})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Meter.MaintMeanRatio(), "maint:ratio")
+			b.ReportMetric(res.Meter.QueryMeanRatio(), "query:ratio")
+		})
+	}
+}
+
+// Publish cost scales with the diameter (Theorem 4.1).
+func BenchmarkPublishCost(b *testing.B) {
+	g := Grid(20, 20)
+	m := NewMetric(g)
+	var meter CostMeter
+	for i := 0; i < b.N; i++ {
+		tr, err := NewTrackerWithMetric(g, m, Options{Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for o := 0; o < 50; o++ {
+			if err := tr.Publish(ObjectID(o), NodeID(o*7%g.N())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		meter = tr.Meter()
+	}
+	b.ReportMetric(meter.PublishCost/float64(meter.PublishOps), "publish:cost/op")
+}

@@ -1,0 +1,95 @@
+// Command motablate quantifies MOT's design choices on one workload: the
+// §3.1 parent-set probing, special parents, §5 load balancing under both
+// surcharge pricings, the §6 general-network overlay, and the concurrent
+// period gate — the ablation matrix DESIGN.md calls out.
+//
+// Usage:
+//
+//	motablate -grid 16x16 -objects 20 -moves 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mot "repro"
+)
+
+type variant struct {
+	name string
+	opt  mot.Options
+}
+
+func main() {
+	gridSpec := flag.String("grid", "16x16", "grid dimensions WxH")
+	objects := flag.Int("objects", 20, "number of objects")
+	moves := flag.Int("moves", 200, "moves per object")
+	queries := flag.Int("queries", 200, "queries")
+	seed := flag.Int64("seed", 7, "workload and overlay seed")
+	flag.Parse()
+
+	var w, h int
+	if _, err := fmt.Sscanf(strings.ToLower(*gridSpec), "%dx%d", &w, &h); err != nil {
+		fmt.Fprintf(os.Stderr, "motablate: invalid -grid %q\n", *gridSpec)
+		os.Exit(2)
+	}
+	g := mot.Grid(w, h)
+	m := mot.NewMetric(g)
+	wl, err := mot.GenerateWorkload(g, m, mot.WorkloadConfig{
+		Objects: *objects, MovesPerObject: *moves, Queries: *queries, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	variants := []variant{
+		{"base (simple paths, sigma=2)", mot.Options{Seed: *seed, SpecialParentOffset: 2}},
+		{"parent sets (§3.1)", mot.Options{Seed: *seed, SpecialParentOffset: 2, UseParentSets: true}},
+		{"no special parents", mot.Options{Seed: *seed, SpecialParentOffset: -1}},
+		{"load balanced (§5)", mot.Options{Seed: *seed, SpecialParentOffset: 2, LoadBalance: true}},
+		{"load balanced, surcharge counted", mot.Options{Seed: *seed, SpecialParentOffset: 2, LoadBalance: true, CountLBRouteCost: true}},
+		{"general overlay (§6)", mot.Options{GeneralOverlay: true, SpecialParentOffset: 2}},
+	}
+
+	fmt.Printf("grid %dx%d, %d objects, %d moves/object, %d queries\n\n", w, h, *objects, *moves, *queries)
+	fmt.Printf("%-36s %12s %12s %12s %12s %10s\n",
+		"variant", "maint ratio", "query ratio", "sdl cost", "lb cost", "max load")
+	for _, v := range variants {
+		tr, err := mot.NewTrackerWithMetric(g, m, v.opt)
+		if err != nil {
+			fatal(err)
+		}
+		meter, err := mot.Replay(tr, wl)
+		if err != nil {
+			fatal(err)
+		}
+		load := tr.LoadByNode()
+		maxLoad := 0
+		for _, c := range load {
+			if c > maxLoad {
+				maxLoad = c
+			}
+		}
+		fmt.Printf("%-36s %12.2f %12.2f %12.0f %12.0f %10d\n",
+			v.name, meter.MaintMeanRatio(), meter.QueryMeanRatio(),
+			meter.SpecialCost, meter.LBRouteCost, maxLoad)
+	}
+
+	// Concurrent period-gate comparison on the same workload.
+	fmt.Println()
+	for _, on := range []bool{false, true} {
+		res, err := mot.RunConcurrent(g, wl, mot.ConcurrentOptions{Seed: *seed, PeriodSync: on})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("concurrent, period gate %-5t: maint ratio %6.2f, query ratio %6.2f\n",
+			on, res.Meter.MaintMeanRatio(), res.Meter.QueryMeanRatio())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "motablate: %v\n", err)
+	os.Exit(1)
+}

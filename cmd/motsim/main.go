@@ -1,0 +1,87 @@
+// Command motsim regenerates the paper's evaluation figures (Figs. 4–15):
+// maintenance and query cost ratios of MOT vs STUN vs Z-DAT (± shortcuts)
+// on grid networks in one-by-one and concurrent executions, and the
+// per-node load comparisons.
+//
+// Usage:
+//
+//	motsim -fig 4              # one figure at full (paper) scale
+//	motsim -fig all -scale 0.1 # all figures, workload scaled to 10%
+//
+// Scale 1 reproduces the paper's exact setting (grids of 10–1024 nodes,
+// 100/1000 objects, 1000 maintenance operations per object, 5 seeds) and
+// takes a long while; small scales finish in seconds to minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure number (4..15) or 'all'")
+	scale := flag.Float64("scale", 0.1, "workload scale in (0,1]; 1 = the paper's full setting")
+	format := flag.String("format", "text", "output format: text, md, or csv")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	figs := experiments.Figures(*scale)
+	if *list {
+		for _, id := range experiments.FigureIDs(figs) {
+			fmt.Printf("fig %2d: %s\n", id, figs[id].Title)
+		}
+		return
+	}
+
+	var ids []int
+	if *fig == "all" {
+		ids = experiments.FigureIDs(figs)
+	} else {
+		id, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motsim: invalid figure %q\n", *fig)
+			os.Exit(2)
+		}
+		if _, ok := figs[id]; !ok {
+			fmt.Fprintf(os.Stderr, "motsim: unknown figure %d (have 4..15)\n", id)
+			os.Exit(2)
+		}
+		ids = []int{id}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		f := figs[id]
+		var err error
+		switch *format {
+		case "text":
+			err = f.Run(os.Stdout)
+		case "md":
+			err = f.RunWith(os.Stdout, func(res *experiments.CostRatioResult) error {
+				return report.MarkdownCostRatio(os.Stdout, res, f.IsQuery)
+			}, func(res *experiments.LoadResult) error {
+				return report.MarkdownLoad(os.Stdout, res)
+			})
+		case "csv":
+			err = f.RunWith(os.Stdout, func(res *experiments.CostRatioResult) error {
+				return report.CSVCostRatio(os.Stdout, res)
+			}, func(res *experiments.LoadResult) error {
+				return report.CSVLoad(os.Stdout, res)
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "motsim: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motsim: figure %d: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(figure %d took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

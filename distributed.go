@@ -1,0 +1,55 @@
+package mot
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/runtime"
+)
+
+// Distributed is a live, goroutine-per-node realization of MOT: every
+// sensor runs as its own goroutine and operations travel as messages
+// between them. It trades the sequential Tracker's detailed metering for
+// actual distributed execution; the examples use it to model deployments.
+type Distributed struct {
+	tr *runtime.Tracker
+}
+
+// NewDistributed builds the overlay and starts one goroutine per sensor.
+// Call Close when done.
+func NewDistributed(g *Graph, opt Options) (*Distributed, error) {
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{
+		Seed:                opt.Seed,
+		SpecialParentOffset: opt.SpecialParentOffset,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mot: building HS overlay: %w", err)
+	}
+	return &Distributed{tr: runtime.New(g, hs)}, nil
+}
+
+// Publish introduces object o at sensor at; it blocks until the detection
+// trail reaches the root.
+func (d *Distributed) Publish(o ObjectID, at NodeID) error { return d.tr.Publish(o, at) }
+
+// Move reports that o moved to sensor to; it blocks until the maintenance
+// operation completes. Same-object moves serialize; different objects
+// proceed concurrently.
+func (d *Distributed) Move(o ObjectID, to NodeID) error { return d.tr.Move(o, to) }
+
+// Query locates o from sensor from, returning the proxy and the search
+// walk's communication cost.
+func (d *Distributed) Query(from NodeID, o ObjectID) (NodeID, float64, error) {
+	return d.tr.Query(from, o)
+}
+
+// Location returns o's current proxy.
+func (d *Distributed) Location(o ObjectID) (NodeID, bool) { return d.tr.Location(o) }
+
+// Cost returns the total distance traveled by all messages so far.
+func (d *Distributed) Cost() float64 { return d.tr.Cost() }
+
+// Close stops all node goroutines.
+func (d *Distributed) Close() { d.tr.Stop() }

@@ -1,0 +1,36 @@
+package mot
+
+import (
+	"fmt"
+)
+
+// Migrate rebuilds tracking on a changed network — §7's coarse mechanism:
+// fine-grained churn inside clusters is absorbed by the de Bruijn
+// relabeling with amortized O(1) updates (internal/debruijn), and "after
+// the threshold, the hierarchy can be rebuilt from scratch". Migrate
+// constructs a fresh tracker over newG and republishes every object of old
+// at relocate(oldProxy) (identity when relocate is nil and the proxy still
+// exists in newG).
+func Migrate(old *Tracker, newG *Graph, opt Options, relocate func(NodeID) NodeID) (*Tracker, error) {
+	fresh, err := NewTracker(newG, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range old.Objects() {
+		proxy, ok := old.Location(o)
+		if !ok {
+			continue
+		}
+		target := proxy
+		if relocate != nil {
+			target = relocate(proxy)
+		}
+		if int(target) < 0 || int(target) >= newG.N() {
+			return nil, fmt.Errorf("mot: migrate: object %d relocated to invalid node %d", o, target)
+		}
+		if err := fresh.Publish(o, target); err != nil {
+			return nil, fmt.Errorf("mot: migrate: %w", err)
+		}
+	}
+	return fresh, nil
+}

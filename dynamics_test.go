@@ -1,0 +1,100 @@
+package mot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// §7 coarse rebuild: sensors fail, the region is re-deployed as a smaller
+// grid, and tracking continues after Migrate with every surviving object
+// findable.
+func TestMigrateAfterChurn(t *testing.T) {
+	oldG := Grid(10, 10)
+	tr, err := NewTracker(oldG, Options{Seed: 1, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	locs := make([]NodeID, 15)
+	for o := range locs {
+		locs[o] = NodeID(rng.Intn(oldG.N()))
+		if err := tr.Publish(ObjectID(o), locs[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		o := rng.Intn(len(locs))
+		nbrs := oldG.NeighborIDs(locs[o])
+		locs[o] = nbrs[rng.Intn(len(nbrs))]
+		if err := tr.Move(ObjectID(o), locs[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The outer ring of sensors dies; survivors renumber into an 8x8 grid.
+	newG := Grid(8, 8)
+	relocate := func(u NodeID) NodeID {
+		x, y := int(u)%10, int(u)/10
+		if x < 1 {
+			x = 1
+		}
+		if x > 8 {
+			x = 8
+		}
+		if y < 1 {
+			y = 1
+		}
+		if y > 8 {
+			y = 8
+		}
+		return NodeID((y-1)*8 + (x - 1))
+	}
+	fresh, err := Migrate(tr, newG, Options{Seed: 9, SpecialParentOffset: 2}, relocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for o := range locs {
+		want := relocate(locs[o])
+		got, _, err := fresh.Query(0, ObjectID(o))
+		if err != nil {
+			t.Fatalf("object %d: %v", o, err)
+		}
+		if got != want {
+			t.Fatalf("object %d at %d after migration, want %d", o, got, want)
+		}
+		// Tracking continues normally on the new network.
+		nbrs := newG.NeighborIDs(want)
+		if err := fresh.Move(ObjectID(o), nbrs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateIdentityAndErrors(t *testing.T) {
+	g := Grid(4, 4)
+	tr, err := NewTracker(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Publish(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Identity relocation onto the same graph.
+	fresh, err := Migrate(tr, g, Options{Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fresh.Location(1); got != 5 {
+		t.Fatalf("location %d", got)
+	}
+	// Relocation out of range must fail.
+	if _, err := Migrate(tr, Grid(2, 2), Options{Seed: 3}, nil); err == nil {
+		t.Fatal("out-of-range relocation accepted")
+	}
+}

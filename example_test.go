@@ -1,0 +1,69 @@
+package mot_test
+
+import (
+	"fmt"
+	"log"
+
+	mot "repro"
+)
+
+// Tracking one object on a small grid: publish, move, query.
+func ExampleTracker() {
+	g := mot.Grid(8, 8)
+	tr, err := mot.NewTracker(g, mot.Options{Seed: 1, SpecialParentOffset: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Publish(1, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Move(1, 8); err != nil { // one step north
+		log.Fatal(err)
+	}
+	proxy, _, err := tr.Query(63, 1) // ask from the far corner
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("object 1 is at sensor", proxy)
+	// Output: object 1 is at sensor 8
+}
+
+// Comparing MOT against a traffic-conscious baseline on the same workload.
+func ExampleReplay() {
+	g := mot.Grid(8, 8)
+	m := mot.NewMetric(g)
+	w, err := mot.GenerateWorkload(g, m, mot.WorkloadConfig{
+		Objects: 5, MovesPerObject: 40, Queries: 20, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := mot.NewTrackerWithMetric(g, m, mot.Options{Seed: 3, SpecialParentOffset: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter, err := mot.Replay(tr, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maintenance ops:", meter.MaintOps, "queries:", meter.QueryOps)
+	// Output: maintenance ops: 200 queries: 20
+}
+
+// Running a concurrent simulation where queries overlap maintenance.
+func ExampleRunConcurrent() {
+	g := mot.Grid(6, 6)
+	m := mot.NewMetric(g)
+	w, err := mot.GenerateWorkload(g, m, mot.WorkloadConfig{
+		Objects: 3, MovesPerObject: 20, Queries: 10, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mot.RunConcurrent(g, w, mot.ConcurrentOptions{Seed: 4, PeriodSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("queries completed:", len(res.Queries))
+	// Output: queries completed: 10
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a sensor grid, track one object through a few moves,
+// and locate it from another corner of the network — the smallest complete
+// use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mot "repro"
+)
+
+func main() {
+	// A 16x16 sensor grid (unit spacing); sensor (x, y) has ID y*16+x.
+	g := mot.Grid(16, 16)
+
+	tr, err := mot.NewTracker(g, mot.Options{
+		Seed:                1, // deterministic overlay construction
+		SpecialParentOffset: 2, // sigma of Definition 3
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: %d levels, root (sink) at sensor %d\n",
+		tr.OverlayHeight(), tr.RootNode())
+
+	// An animal appears in the south-west corner.
+	const elk = mot.ObjectID(1)
+	if err := tr.Publish(elk, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// It wanders east along the bottom row; each step between adjacent
+	// sensors is one maintenance operation in the tracking structure.
+	for _, next := range []mot.NodeID{1, 2, 3, 19, 35, 36} {
+		if err := tr.Move(elk, next); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A sensor in the opposite corner asks where the elk is.
+	proxy, cost, err := tr.Query(255, elk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal := tr.Metric().Dist(255, proxy)
+	fmt.Printf("query from sensor 255: elk at sensor %d (cost %.1f, optimal %.1f, ratio %.2f)\n",
+		proxy, cost, optimal, cost/optimal)
+
+	m := tr.Meter()
+	fmt.Printf("maintenance so far: %d ops, cost ratio %.2f (paper: O(min{log n, log D}))\n",
+		m.MaintOps, m.MaintRatio())
+
+	if err := tr.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("directory invariants: ok")
+}

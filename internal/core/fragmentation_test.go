@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+)
+
+// The Fig. 2 scenario: repeated maintenance operations fragment an
+// object's detection trail so that a nearby query's own path no longer
+// intersects the trail at a low level; without special parents the query
+// may have to climb to the root, while the SDL shortcut serves it lower.
+// We verify the aggregate effect: on heavily fragmented trails, total
+// query cost with special parents is at most the cost without them, and
+// at least one query is answered through an SDL hit.
+func TestFragmentationSpecialParentsHelp(t *testing.T) {
+	g := graph.Grid(16, 16)
+	m := graph.NewMetric(g)
+
+	run := func(sigma int) (float64, *Directory) {
+		hs, err := hier.Build(g, m, hier.Config{Seed: 5, SpecialParentOffset: sigma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(hs, Config{})
+		if err := d.Publish(1, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Fragment: many short moves in a confined neighborhood, the
+		// regime where trails splinter (Fig. 2).
+		rng := rand.New(rand.NewSource(8))
+		cur := graph.NodeID(0)
+		for i := 0; i < 150; i++ {
+			nbrs := g.NeighborIDs(cur)
+			cur = nbrs[rng.Intn(len(nbrs))]
+			if err := d.Move(1, cur); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := 0.0
+		for u := 0; u < g.N(); u += 3 {
+			got, c, err := d.Query(graph.NodeID(u), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != cur {
+				t.Fatalf("sigma=%d: query said %d, proxy %d", sigma, got, cur)
+			}
+			total += c
+		}
+		return total, d
+	}
+
+	withSDL, d := run(2)
+	withoutSDL, _ := run(-1)
+	if withSDL > withoutSDL {
+		t.Fatalf("special parents increased total query cost: %v vs %v", withSDL, withoutSDL)
+	}
+	// The SDL machinery is actually in play.
+	_, sdl := d.EntryCount()
+	if sdl == 0 {
+		t.Fatal("no SDL entries after fragmentation with sigma=2")
+	}
+}
+
+// Trail fragment accounting: after k moves the number of DL entries for an
+// object is at most h+1 (one per level) plus nothing — the single-chain
+// design keeps exactly one entry per level on the live trail.
+func TestTrailStaysSingleChain(t *testing.T) {
+	g := graph.Grid(12, 12)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 7, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(hs, Config{})
+	if err := d.Publish(1, 70); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	cur := graph.NodeID(70)
+	for i := 0; i < 100; i++ {
+		nbrs := g.NeighborIDs(cur)
+		cur = nbrs[rng.Intn(len(nbrs))]
+		if err := d.Move(1, cur); err != nil {
+			t.Fatal(err)
+		}
+		dl, _ := d.EntryCount()
+		if dl > hs.Height()+1 {
+			t.Fatalf("after move %d: %d DL entries for one object, max %d", i, dl, hs.Height()+1)
+		}
+	}
+}

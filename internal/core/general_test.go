@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Integration: the directory must behave identically over the
+// general-network sparse-partition overlay (§6).
+func TestDirectoryOverPartitionOverlay(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Grid(7, 7),
+		graph.Ring(24),
+		graph.RandomTree(30, rand.New(rand.NewSource(2))),
+	} {
+		m := graph.NewMetric(g)
+		hs, err := partition.Build(g, m, partition.Config{SpecialParentOffset: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(hs, Config{})
+		rng := rand.New(rand.NewSource(5))
+		const objs = 8
+		locs := make([]graph.NodeID, objs)
+		for o := 0; o < objs; o++ {
+			locs[o] = graph.NodeID(rng.Intn(g.N()))
+			if err := d.Publish(ObjectID(o), locs[o]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 300; i++ {
+			o := rng.Intn(objs)
+			nbrs := g.NeighborIDs(locs[o])
+			locs[o] = nbrs[rng.Intn(len(nbrs))]
+			if err := d.Move(ObjectID(o), locs[o]); err != nil {
+				t.Fatalf("move %d: %v", i, err)
+			}
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for o := 0; o < objs; o++ {
+			from := graph.NodeID(rng.Intn(g.N()))
+			got, cost, err := d.Query(from, ObjectID(o))
+			if err != nil {
+				t.Fatalf("query: %v", err)
+			}
+			if got != locs[o] {
+				t.Fatalf("object %d at %d, query said %d", o, locs[o], got)
+			}
+			if cost+1e-9 < m.Dist(from, locs[o]) {
+				t.Fatalf("query cost %v below optimal", cost)
+			}
+		}
+		mtr := d.Meter()
+		if mtr.MaintRatio() < 1 {
+			t.Fatalf("maintenance ratio %v < 1", mtr.MaintRatio())
+		}
+	}
+}

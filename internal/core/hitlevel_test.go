@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/partition"
+)
+
+// Lemma 2.1 applied to queries: on an unfragmented trail (publish only,
+// no moves) with parent-set probing, a query from x for an object at v
+// finds the object at level ceil(log2 dist(x,v)) + 1 at the latest.
+func TestQueryHitLevelBoundUnfragmented(t *testing.T) {
+	g := graph.Grid(12, 12)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 3, UseParentSets: true, SpecialParentOffset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(hs, Config{})
+	const proxy = graph.NodeID(77)
+	if err := d.Publish(1, proxy); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 2 {
+		if graph.NodeID(u) == proxy {
+			continue
+		}
+		dist := m.Dist(graph.NodeID(u), proxy)
+		bound := int(math.Ceil(math.Log2(dist))) + 1
+		if bound > hs.Height() {
+			bound = hs.Height()
+		}
+		_, tr, err := d.QueryTraced(graph.NodeID(u), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.HitLevel > bound {
+			t.Fatalf("query from %d (dist %v) hit at level %d, Lemma 2.1 bound %d",
+				u, dist, tr.HitLevel, bound)
+		}
+	}
+}
+
+// The same bound holds on the general-network overlay (Lemma 6.1).
+func TestQueryHitLevelBoundGeneralOverlay(t *testing.T) {
+	g := graph.Grid(9, 9)
+	m := graph.NewMetric(g)
+	hs, err := partition.Build(g, m, partition.Config{SpecialParentOffset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(hs, Config{})
+	const proxy = graph.NodeID(40)
+	if err := d.Publish(1, proxy); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 2 {
+		if graph.NodeID(u) == proxy {
+			continue
+		}
+		dist := m.Dist(graph.NodeID(u), proxy)
+		bound := int(math.Ceil(math.Log2(dist))) + 1
+		if bound > hs.Height() {
+			bound = hs.Height()
+		}
+		_, tr, err := d.QueryTraced(graph.NodeID(u), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.HitLevel > bound {
+			t.Fatalf("query from %d (dist %v) hit at level %d, Lemma 6.1 bound %d",
+				u, dist, tr.HitLevel, bound)
+		}
+	}
+}
+
+// SDL shortcuts fire only under parent-set probing: with home-path
+// probing, home chains are functional (same node, same parent), so an
+// object's live trail always lies on the current mover's home path and DL
+// entries shadow every SDL. With parent sets, a move can peak at a
+// non-home station, the trail above continues on a different path
+// (Fig. 2's fragmentation), and queries that sweep a parent set containing
+// one of the mover's SDL-carrying home ancestors are served through the
+// shortcut.
+func TestQueryTraceReportsSDLUse(t *testing.T) {
+	g := graph.Grid(16, 16)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 5, UseParentSets: true, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(hs, Config{})
+	if err := d.Publish(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	cur := graph.NodeID(0)
+	sdlHits := 0
+	for i := 0; i < 60; i++ {
+		nbrs := g.NeighborIDs(cur)
+		cur = nbrs[rng.Intn(len(nbrs))]
+		if err := d.Move(1, cur); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u += 7 {
+			got, tr, err := d.QueryTraced(graph.NodeID(u), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != cur {
+				t.Fatalf("query said %d, proxy %d", got, cur)
+			}
+			if tr.ViaSDL {
+				sdlHits++
+			}
+		}
+	}
+	if sdlHits == 0 {
+		t.Fatal("no query was served through an SDL shortcut despite parent-set fragmentation")
+	}
+
+	// And in simple mode, trails never leave the home chain, so SDLs are
+	// never consulted — the design insight recorded in DESIGN.md.
+	hs2, err := hier.Build(g, m, hier.Config{Seed: 5, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(hs2, Config{})
+	if err := d2.Publish(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(4))
+	cur = 0
+	for i := 0; i < 60; i++ {
+		nbrs := g.NeighborIDs(cur)
+		cur = nbrs[rng.Intn(len(nbrs))]
+		if err := d2.Move(1, cur); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u += 7 {
+			_, tr, err := d2.QueryTraced(graph.NodeID(u), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.ViaSDL {
+				t.Fatal("SDL hit in simple mode: home-chain fragmentation should be impossible")
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// Placement decides which physical node stores a directory entry for an
+// object at a given station, and what the intra-cluster routing surcharge
+// for reaching that entry is. The default (HostPlacement) stores entries on
+// the station's own host at zero surcharge; the load-balanced placement of
+// §5 hashes entries across the station's cluster and routes to them over an
+// embedded de Bruijn graph.
+type Placement interface {
+	// Place returns the physical node that stores the entry for o at st.
+	Place(st overlay.Station, o ObjectID) graph.NodeID
+	// RouteCost returns the message distance paid to reach the entry for
+	// o from the station host (one way).
+	RouteCost(st overlay.Station, o ObjectID) float64
+}
+
+// HostPlacement stores every entry on the station host itself (Algorithm 1
+// without the §5 extension).
+type HostPlacement struct{}
+
+// Place returns the station host.
+func (HostPlacement) Place(st overlay.Station, _ ObjectID) graph.NodeID { return st.Host }
+
+// RouteCost is always zero for host placement.
+func (HostPlacement) RouteCost(overlay.Station, ObjectID) float64 { return 0 }

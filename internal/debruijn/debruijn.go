@@ -1,0 +1,169 @@
+// Package debruijn implements the d-dimensional de Bruijn graph embedding
+// the paper uses inside clusters for load balancing (§5) and dynamic
+// adaptability (§7), following Rajaraman et al. (SPAA 2001).
+//
+// A d-dimensional de Bruijn graph has 2^d vertices labeled by d-bit
+// strings, with directed edges u1..ud -> u2..ud 0 and u2..ud 1. Its
+// diameter is d and shortest paths can be computed locally by maximizing
+// the overlap between the source's suffix and the destination's prefix, so
+// every cluster node only stores a constant-size neighborhood table.
+//
+// With |X| cluster members, d = ceil(log2 |X|). A vertex whose label l is
+// >= |X| is emulated by the member with label l minus the most significant
+// bit (the paper's §5 hosting rule).
+package debruijn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Embedding maps a de Bruijn vertex space onto the members of one cluster.
+type Embedding struct {
+	hosts  []graph.NodeID       // member label -> physical node
+	labels map[graph.NodeID]int // physical node -> label
+	d      int                  // dimension; vertex labels are d bits
+}
+
+// New embeds a de Bruijn graph over the given cluster members. Members are
+// initially sorted by node ID and labeled 0..|X|-1 (later joins and leaves
+// relabel incrementally, §7). New panics on an empty member set.
+func New(members []graph.NodeID) *Embedding {
+	if len(members) == 0 {
+		panic("debruijn: empty cluster")
+	}
+	hosts := append([]graph.NodeID(nil), members...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	labels := make(map[graph.NodeID]int, len(hosts))
+	for i, h := range hosts {
+		labels[h] = i
+	}
+	return &Embedding{hosts: hosts, labels: labels, d: dimension(len(hosts))}
+}
+
+func dimension(size int) int {
+	d := 0
+	for (1 << d) < size {
+		d++
+	}
+	return d
+}
+
+// Size returns the number of cluster members |X|.
+func (e *Embedding) Size() int { return len(e.hosts) }
+
+// Dimension returns d; the vertex space has 2^d labels.
+func (e *Embedding) Dimension() int { return e.d }
+
+// Members returns the members by label (shared; do not modify).
+func (e *Embedding) Members() []graph.NodeID { return e.hosts }
+
+// Host returns the physical node emulating the de Bruijn vertex with the
+// given label. Labels in [0, |X|) map directly; labels in [|X|, 2^d) drop
+// their most significant bit.
+func (e *Embedding) Host(label int) (graph.NodeID, error) {
+	if label < 0 || label >= (1<<e.d) {
+		return graph.Undefined, fmt.Errorf("debruijn: label %d out of range [0, %d)", label, 1<<e.d)
+	}
+	if label < len(e.hosts) {
+		return e.hosts[label], nil
+	}
+	stripped := label &^ (1 << (e.d - 1))
+	if stripped >= len(e.hosts) {
+		// Can only happen for |X| < 2^(d-1), which dimension() rules out.
+		return graph.Undefined, fmt.Errorf("debruijn: label %d not emulated (|X|=%d)", label, len(e.hosts))
+	}
+	return e.hosts[stripped], nil
+}
+
+// LabelOf returns the label of a member node, or -1 if the node is not a
+// member.
+func (e *Embedding) LabelOf(host graph.NodeID) int {
+	if l, ok := e.labels[host]; ok {
+		return l
+	}
+	return -1
+}
+
+// Route returns the label sequence of a shortest de Bruijn path from label
+// u to label v (inclusive of both): shift in v's bits after skipping the
+// longest overlap between u's suffix and v's prefix. The path length is at
+// most d hops.
+func (e *Embedding) Route(u, v int) ([]int, error) {
+	max := 1 << e.d
+	if u < 0 || u >= max || v < 0 || v >= max {
+		return nil, fmt.Errorf("debruijn: route labels (%d,%d) out of range [0,%d)", u, v, max)
+	}
+	if u == v {
+		return []int{u}, nil
+	}
+	// Find the largest t <= d such that the last t bits of u equal the
+	// first t bits of v.
+	best := 0
+	for t := e.d - 1; t >= 1; t-- {
+		suffix := u & ((1 << t) - 1)
+		prefix := v >> (e.d - t)
+		if suffix == prefix {
+			best = t
+			break
+		}
+	}
+	path := []int{u}
+	cur := u
+	mask := (1 << e.d) - 1
+	for i := e.d - best - 1; i >= 0; i-- {
+		bit := (v >> i) & 1
+		cur = ((cur << 1) | bit) & mask
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// RouteCost returns the total physical distance of routing a message from
+// label u to label v through the embedded de Bruijn graph: each virtual hop
+// costs the shortest-path distance between the hosting sensors
+// (Corollary 5.2's O(log |X|) routing overhead).
+func (e *Embedding) RouteCost(m *graph.Metric, u, v int) (float64, error) {
+	path, err := e.Route(u, v)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		a, err := e.Host(path[i-1])
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.Host(path[i])
+		if err != nil {
+			return 0, err
+		}
+		total += m.Dist(a, b)
+	}
+	return total, nil
+}
+
+// NeighborTable returns the outgoing de Bruijn neighbors (hosts) of the
+// vertex with the given label — the constant-size table each cluster node
+// stores (at most two out-edges).
+func (e *Embedding) NeighborTable(label int) ([]graph.NodeID, error) {
+	if label < 0 || label >= (1<<e.d) {
+		return nil, fmt.Errorf("debruijn: label %d out of range", label)
+	}
+	if e.d == 0 {
+		return nil, nil
+	}
+	mask := (1 << e.d) - 1
+	var out []graph.NodeID
+	for bit := 0; bit <= 1; bit++ {
+		next := ((label << 1) | bit) & mask
+		h, err := e.Host(next)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package debruijn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func members(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i * 3) // arbitrary non-contiguous IDs
+	}
+	return out
+}
+
+func TestNewDimension(t *testing.T) {
+	cases := []struct{ size, d int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5},
+	}
+	for _, c := range cases {
+		e := New(members(c.size))
+		if e.Dimension() != c.d {
+			t.Errorf("size %d: dimension %d, want %d", c.size, e.Dimension(), c.d)
+		}
+		if e.Size() != c.size {
+			t.Errorf("size %d reported %d", c.size, e.Size())
+		}
+	}
+}
+
+func TestNewEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New(nil)
+}
+
+func TestHostMapping(t *testing.T) {
+	e := New(members(5)) // d = 3, labels 0..7
+	for l := 0; l < 5; l++ {
+		h, err := e.Host(l)
+		if err != nil || h != graph.NodeID(l*3) {
+			t.Fatalf("Host(%d) = %d, %v", l, h, err)
+		}
+	}
+	// Labels 5..7 emulated by stripping the MSB (bit 2): 5->1, 6->2, 7->3.
+	for _, c := range []struct{ label, want int }{{5, 1}, {6, 2}, {7, 3}} {
+		h, err := e.Host(c.label)
+		if err != nil || h != graph.NodeID(c.want*3) {
+			t.Fatalf("Host(%d) = %d, %v; want member %d", c.label, h, err, c.want)
+		}
+	}
+	if _, err := e.Host(8); err == nil {
+		t.Fatal("Host(8) accepted")
+	}
+	if _, err := e.Host(-1); err == nil {
+		t.Fatal("Host(-1) accepted")
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	e := New(members(6))
+	for i := 0; i < 6; i++ {
+		if got := e.LabelOf(graph.NodeID(i * 3)); got != i {
+			t.Fatalf("LabelOf(%d) = %d", i*3, got)
+		}
+	}
+	if e.LabelOf(graph.NodeID(1)) != -1 {
+		t.Fatal("LabelOf non-member should be -1")
+	}
+}
+
+func TestRouteValidEdges(t *testing.T) {
+	e := New(members(8)) // d = 3
+	mask := (1 << 3) - 1
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			path, err := e.Route(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if path[0] != u || path[len(path)-1] != v {
+				t.Fatalf("route %d->%d = %v", u, v, path)
+			}
+			if len(path)-1 > 3 {
+				t.Fatalf("route %d->%d longer than diameter: %v", u, v, path)
+			}
+			for i := 1; i < len(path); i++ {
+				from, to := path[i-1], path[i]
+				if ((from<<1)&mask) != to&^1 && ((from<<1)|1)&mask != to {
+					t.Fatalf("route %d->%d has invalid edge %d->%d", u, v, from, to)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	e := New(members(4))
+	path, err := e.Route(2, 2)
+	if err != nil || len(path) != 1 || path[0] != 2 {
+		t.Fatalf("self route %v, %v", path, err)
+	}
+}
+
+func TestRouteOutOfRange(t *testing.T) {
+	e := New(members(4))
+	if _, err := e.Route(0, 9); err == nil {
+		t.Fatal("out-of-range route accepted")
+	}
+}
+
+func TestRouteUsesOverlap(t *testing.T) {
+	e := New(members(8)) // d = 3
+	// 011 -> 110 shares overlap "11": route should take 1 hop.
+	path, err := e.Route(0b011, 0b110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("overlap route %v, want single hop", path)
+	}
+}
+
+func TestRouteCostNonNegativeAndBounded(t *testing.T) {
+	g := graph.Grid(4, 4)
+	m := graph.NewMetric(g)
+	var nodes []graph.NodeID
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, graph.NodeID(i))
+	}
+	e := New(nodes)
+	diam := m.Diameter()
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			c, err := e.RouteCost(m, u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < 0 || c > float64(e.Dimension())*diam {
+				t.Fatalf("route cost %v out of bounds", c)
+			}
+		}
+	}
+}
+
+func TestNeighborTableConstantSize(t *testing.T) {
+	e := New(members(7))
+	for l := 0; l < 1<<e.Dimension(); l++ {
+		tab, err := e.NeighborTable(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab) != 2 {
+			t.Fatalf("label %d has %d out-neighbors", l, len(tab))
+		}
+	}
+	if _, err := e.NeighborTable(99); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestJoinLeaveBasic(t *testing.T) {
+	e := New(members(3)) // labels 0,3,6
+	if _, err := e.Join(graph.NodeID(3)); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	upd, err := e.Join(graph.NodeID(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd <= 0 {
+		t.Fatal("join reported zero updates")
+	}
+	if e.Size() != 4 || !e.Contains(100) || e.LabelOf(100) != 3 {
+		t.Fatalf("post-join state: size=%d label=%d", e.Size(), e.LabelOf(100))
+	}
+	// Leave a middle node: tail takes its label.
+	if _, err := e.Leave(graph.NodeID(3)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Contains(3) || e.LabelOf(100) != 1 || e.Size() != 3 {
+		t.Fatalf("post-leave state: size=%d label(100)=%d", e.Size(), e.LabelOf(100))
+	}
+	if _, err := e.Leave(graph.NodeID(3)); err == nil {
+		t.Fatal("double leave accepted")
+	}
+}
+
+func TestLeaveLastMemberRejected(t *testing.T) {
+	e := New(members(1))
+	if _, err := e.Leave(graph.NodeID(0)); err == nil {
+		t.Fatal("removing last member accepted")
+	}
+}
+
+func TestDimensionChangesOnPowerOfTwo(t *testing.T) {
+	e := New(members(4)) // d=2
+	upd, err := e.Join(graph.NodeID(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dimension() != 3 {
+		t.Fatalf("dimension %d after growing past 4", e.Dimension())
+	}
+	if upd != 5 {
+		t.Fatalf("dimension-growing join updated %d nodes, want all 5", upd)
+	}
+	upd, err = e.Leave(graph.NodeID(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dimension() != 2 {
+		t.Fatalf("dimension %d after shrinking to 4", e.Dimension())
+	}
+	if upd != 5 {
+		t.Fatalf("dimension-shrinking leave updated %d, want 5", upd)
+	}
+}
+
+// §7: amortized adaptability is O(1) per join/leave within a cluster.
+func TestAmortizedAdaptabilityConstant(t *testing.T) {
+	e := New(members(1))
+	total := 0
+	const ops = 2000
+	// Grow by 1000, then shrink by 1000, counting updates.
+	for i := 0; i < ops/2; i++ {
+		upd, err := e.Join(graph.NodeID(1000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += upd
+	}
+	for i := ops/2 - 1; i >= 0; i-- {
+		upd, err := e.Leave(graph.NodeID(1000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += upd
+	}
+	if avg := float64(total) / ops; avg > 12 {
+		t.Fatalf("amortized adaptability %v updates/op, want O(1)", avg)
+	}
+}
+
+// Property: after any join/leave sequence, labels remain a bijection onto
+// 0..|X|-1 and every de Bruijn vertex resolves to a member.
+func TestQuickJoinLeaveConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(members(3))
+		present := map[graph.NodeID]bool{0: true, 3: true, 6: true}
+		nextID := graph.NodeID(1000)
+		for i := 0; i < 60; i++ {
+			if rng.Intn(2) == 0 || e.Size() <= 1 {
+				id := nextID
+				nextID++
+				if _, err := e.Join(id); err != nil {
+					return false
+				}
+				present[id] = true
+			} else {
+				// Remove a random present member.
+				var pick graph.NodeID
+				k := rng.Intn(len(present))
+				for h := range present {
+					if k == 0 {
+						pick = h
+						break
+					}
+					k--
+				}
+				if _, err := e.Leave(pick); err != nil {
+					return false
+				}
+				delete(present, pick)
+			}
+			// Bijection check.
+			seen := map[int]bool{}
+			for h := range present {
+				l := e.LabelOf(h)
+				if l < 0 || l >= e.Size() || seen[l] {
+					return false
+				}
+				seen[l] = true
+			}
+			// Every vertex label resolves.
+			for l := 0; l < 1<<e.Dimension(); l++ {
+				if _, err := e.Host(l); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	e := New(members(64))
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Route(i%64, (i*7)%64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Join adds a node to the cluster, assigning it the next label |X| (§7).
+// It returns the number of cluster nodes whose labels or neighborhood
+// tables had to be updated: O(1) normally, |X| when the addition pushes the
+// member count past a power of two and the embedded dimension grows.
+func (e *Embedding) Join(host graph.NodeID) (updated int, err error) {
+	if _, ok := e.labels[host]; ok {
+		return 0, fmt.Errorf("debruijn: node %d already in cluster", host)
+	}
+	label := len(e.hosts)
+	e.hosts = append(e.hosts, host)
+	e.labels[host] = label
+	newD := dimension(len(e.hosts))
+	if newD != e.d {
+		// Dimension grows: every member must split its emulated labels.
+		e.d = newD
+		return len(e.hosts), nil
+	}
+	// The joining node, its de Bruijn neighbors, and the member that
+	// previously emulated this label update their tables.
+	return min(len(e.hosts), 6), nil
+}
+
+// Leave removes a node from the cluster (§7). If the departing node does
+// not hold the last label, the node with the last label takes over the
+// departing label first (the paper's relabel-to-tail rule), so only O(1)
+// nodes update — unless the shrink crosses a power of two, in which case
+// the dimension drops and all |X| members merge label pairs.
+func (e *Embedding) Leave(host graph.NodeID) (updated int, err error) {
+	label, ok := e.labels[host]
+	if !ok {
+		return 0, fmt.Errorf("debruijn: node %d not in cluster", host)
+	}
+	if len(e.hosts) == 1 {
+		return 0, fmt.Errorf("debruijn: cannot remove the last cluster member")
+	}
+	last := len(e.hosts) - 1
+	moved := 0
+	if label != last {
+		e.hosts[label] = e.hosts[last]
+		e.labels[e.hosts[label]] = label
+		moved = 1
+	}
+	e.hosts = e.hosts[:last]
+	delete(e.labels, host)
+	newD := dimension(len(e.hosts))
+	if newD != e.d {
+		e.d = newD
+		return len(e.hosts) + 1, nil
+	}
+	return min(len(e.hosts), 4+moved), nil
+}
+
+// Contains reports membership.
+func (e *Embedding) Contains(host graph.NodeID) bool {
+	_, ok := e.labels[host]
+	return ok
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

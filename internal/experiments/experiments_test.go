@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Small but real end-to-end run of the one-by-one cost-ratio harness,
+// verifying the paper's qualitative shape: MOT beats STUN on both metrics
+// and is within a small factor of the Z-DAT variants.
+func TestCostRatioOneByOneShape(t *testing.T) {
+	res, err := RunCostRatio(CostRatioConfig{
+		Sizes:          []int{36, 121},
+		Objects:        10,
+		MovesPerObject: 120,
+		Queries:        60,
+		Seeds:          2,
+		LoadBalance:    false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, n := range res.Sizes {
+		mot, stun := res.MaintenanceMean[0][si], res.MaintenanceMean[1][si]
+		if mot < 1 || stun < 1 {
+			t.Fatalf("size %d: ratios below 1: mot=%v stun=%v", n, mot, stun)
+		}
+		if mot >= stun {
+			t.Errorf("size %d: MOT maintenance ratio %.2f not below STUN %.2f", n, mot, stun)
+		}
+		// Query separation needs network scale: STUN pays the sink trip
+		// ~O(D) per query while MOT pays O(dist); on tiny grids the
+		// hierarchy constants mask it.
+		qmot, qstun := res.QueryMean[0][si], res.QueryMean[1][si]
+		if n >= 100 && qmot >= qstun {
+			t.Errorf("size %d: MOT query ratio %.2f not below STUN %.2f", n, qmot, qstun)
+		}
+		// MOT within a modest factor of Z-DAT (the paper: "matches").
+		zdat := res.MaintenanceMean[2][si]
+		if mot > 6*zdat {
+			t.Errorf("size %d: MOT maintenance %.2f far above Z-DAT %.2f", n, mot, zdat)
+		}
+	}
+}
+
+func TestCostRatioConcurrentRuns(t *testing.T) {
+	res, err := RunCostRatio(CostRatioConfig{
+		Sizes:          []int{121},
+		Objects:        6,
+		MovesPerObject: 40,
+		Queries:        30,
+		Seeds:          1,
+		Concurrent:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range res.Algorithms {
+		if res.Maintenance[a][0] < 1 {
+			t.Fatalf("%s concurrent maintenance ratio %v", res.Algorithms[a], res.Maintenance[a][0])
+		}
+		if res.QueryMean[a][0] <= 0 {
+			t.Fatalf("%s concurrent query ratio %v", res.Algorithms[a], res.QueryMean[a][0])
+		}
+	}
+	// Sink-based STUN queries must cost more than MOT's on a per-query basis.
+	if res.QueryMean[0][0] >= res.QueryMean[1][0] {
+		t.Errorf("concurrent: MOT query ratio %.2f not below STUN %.2f", res.QueryMean[0][0], res.QueryMean[1][0])
+	}
+}
+
+func TestRunLoadHeadline(t *testing.T) {
+	for _, baseline := range []string{AlgSTUN, AlgZDAT} {
+		res, err := RunLoad(LoadConfig{Nodes: 144, Objects: 40, Baseline: baseline, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's headline: the baseline concentrates load (nodes with
+		// load > 10 exist; the root holds every object), MOT spreads it.
+		if res.Baseline.Max < res.MOT.Max {
+			t.Errorf("%s: baseline max %d below MOT max %d", baseline, res.Baseline.Max, res.MOT.Max)
+		}
+		if res.Baseline.AboveTen == 0 {
+			t.Errorf("%s: baseline has no node with load > 10 (max %d)", baseline, res.Baseline.Max)
+		}
+		if res.MOT.AboveTen > res.Baseline.AboveTen {
+			t.Errorf("%s: MOT has more overloaded nodes (%d) than baseline (%d)",
+				baseline, res.MOT.AboveTen, res.Baseline.AboveTen)
+		}
+		if len(res.MOTLoad) != 144 {
+			t.Fatalf("load vector length %d", len(res.MOTLoad))
+		}
+	}
+}
+
+func TestRunLoadAfterMoves(t *testing.T) {
+	res, err := RunLoad(LoadConfig{Nodes: 100, Objects: 30, MovesPerObject: 10, Baseline: AlgZDAT, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MOT.Total == 0 || res.Baseline.Total == 0 {
+		t.Fatalf("empty load totals: %+v", res)
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := Figures(0.05)
+	ids := FigureIDs(figs)
+	if len(ids) != 12 || ids[0] != 4 || ids[len(ids)-1] != 15 {
+		t.Fatalf("figure ids %v", ids)
+	}
+	for _, id := range ids {
+		f := figs[id]
+		if f.Title == "" || f.Kind == "" {
+			t.Fatalf("figure %d incomplete: %+v", id, f)
+		}
+	}
+	// Full-scale registry keeps the paper's parameters.
+	full := Figures(1)
+	if full[4].Cost.Objects != 100 || full[5].Cost.Objects != 1000 {
+		t.Fatalf("full-scale objects: %d, %d", full[4].Cost.Objects, full[5].Cost.Objects)
+	}
+	if full[4].Cost.MovesPerObject != 1000 || full[4].Cost.Seeds != 5 {
+		t.Fatalf("full-scale moves/seeds: %+v", full[4].Cost)
+	}
+	if full[8].Load.Nodes != 1024 || full[9].Load.MovesPerObject != 10 {
+		t.Fatalf("full-scale load config: %+v", full[8].Load)
+	}
+}
+
+func TestFigureRunPrints(t *testing.T) {
+	figs := Figures(0.02)
+	// One cheap cost figure and one cheap load figure.
+	f := figs[4]
+	f.Cost.Sizes = []int{16}
+	f.Cost.Objects = 4
+	f.Cost.MovesPerObject = 20
+	f.Cost.Queries = 10
+	f.Cost.Seeds = 1
+	var buf bytes.Buffer
+	if err := f.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "MOT") {
+		t.Fatalf("output %q", out)
+	}
+
+	lf := figs[8]
+	lf.Load.Nodes = 64
+	lf.Load.Objects = 10
+	buf.Reset()
+	if err := lf.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "STUN") {
+		t.Fatalf("load output %q", buf.String())
+	}
+}

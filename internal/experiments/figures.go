@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Figure identifies one of the paper's evaluation figures and knows how to
+// regenerate and print it.
+type Figure struct {
+	ID      int
+	Title   string
+	Kind    string // "maintenance", "query", or "load"
+	Cost    CostRatioConfig
+	Load    LoadConfig
+	IsQuery bool
+}
+
+// Figures maps figure numbers (4–15) to their harness configurations,
+// exactly as indexed in DESIGN.md. Scale (0,1] shrinks the workload for
+// quick runs; 1 reproduces the paper's full setting.
+func Figures(scale float64) map[int]Figure {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	objs100 := scaleInt(100, scale, 4)
+	objs1000 := scaleInt(1000, scale, 8)
+	moves := scaleInt(1000, scale, 20)
+	queries100 := scaleInt(100, scale, 20)
+	queries1000 := scaleInt(1000, scale, 20)
+	seeds := scaleInt(5, scale, 1)
+	sizes := []int{10, 16, 36, 64, 121, 256, 529, 1024}
+	if scale < 1 {
+		sizes = []int{10, 36, 121, 256}
+	}
+	loadNodes := scaleInt(1024, scale, 100)
+
+	cost := func(objects, queries int, concurrent bool) CostRatioConfig {
+		return CostRatioConfig{
+			Sizes:          sizes,
+			Objects:        objects,
+			MovesPerObject: moves,
+			Queries:        queries,
+			Seeds:          seeds,
+			Concurrent:     concurrent,
+			LoadBalance:    true,
+		}
+	}
+	load := func(movesPerObject int, baseline string) LoadConfig {
+		return LoadConfig{Nodes: loadNodes, Objects: objs100, MovesPerObject: movesPerObject, Baseline: baseline}
+	}
+
+	return map[int]Figure{
+		4:  {ID: 4, Title: "maintenance cost ratio, one-by-one, 100 objects", Kind: "maintenance", Cost: cost(objs100, queries100, false)},
+		5:  {ID: 5, Title: "maintenance cost ratio, one-by-one, 1000 objects", Kind: "maintenance", Cost: cost(objs1000, queries1000, false)},
+		6:  {ID: 6, Title: "query cost ratio, one-by-one, 100 objects", Kind: "query", Cost: cost(objs100, queries100, false), IsQuery: true},
+		7:  {ID: 7, Title: "query cost ratio, one-by-one, 1000 objects", Kind: "query", Cost: cost(objs1000, queries1000, false), IsQuery: true},
+		8:  {ID: 8, Title: "load/node, MOT vs STUN, after initialization", Kind: "load", Load: load(0, AlgSTUN)},
+		9:  {ID: 9, Title: "load/node, MOT vs STUN, after 10 moves/object", Kind: "load", Load: load(10, AlgSTUN)},
+		10: {ID: 10, Title: "load/node, MOT vs Z-DAT, after initialization", Kind: "load", Load: load(0, AlgZDAT)},
+		11: {ID: 11, Title: "load/node, MOT vs Z-DAT, after 10 moves/object", Kind: "load", Load: load(10, AlgZDAT)},
+		12: {ID: 12, Title: "maintenance cost ratio, concurrent, 100 objects", Kind: "maintenance", Cost: cost(objs100, queries100, true)},
+		13: {ID: 13, Title: "maintenance cost ratio, concurrent, 1000 objects", Kind: "maintenance", Cost: cost(objs1000, queries1000, true)},
+		14: {ID: 14, Title: "query cost ratio, concurrent, 100 objects", Kind: "query", Cost: cost(objs100, queries100, true), IsQuery: true},
+		15: {ID: 15, Title: "query cost ratio, concurrent, 1000 objects", Kind: "query", Cost: cost(objs1000, queries1000, true), IsQuery: true},
+	}
+}
+
+func scaleInt(full int, scale float64, min int) int {
+	v := int(float64(full) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// FigureIDs returns the available figure numbers sorted.
+func FigureIDs(figs map[int]Figure) []int {
+	ids := make([]int, 0, len(figs))
+	for id := range figs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Run executes a figure's harness and prints its series to w as text.
+func (f Figure) Run(w io.Writer) error {
+	return f.RunWith(w, func(res *CostRatioResult) error {
+		PrintCostRatio(w, res, f.IsQuery)
+		return nil
+	}, func(res *LoadResult) error {
+		PrintLoad(w, res)
+		return nil
+	})
+}
+
+// RunWith executes the figure's harness and hands the structured result to
+// the matching renderer (cost-ratio sweeps or load comparisons).
+func (f Figure) RunWith(w io.Writer, cost func(*CostRatioResult) error, load func(*LoadResult) error) error {
+	fmt.Fprintf(w, "== Figure %d: %s ==\n", f.ID, f.Title)
+	switch f.Kind {
+	case "maintenance", "query":
+		res, err := RunCostRatio(f.Cost)
+		if err != nil {
+			return err
+		}
+		return cost(res)
+	case "load":
+		res, err := RunLoad(f.Load)
+		if err != nil {
+			return err
+		}
+		return load(res)
+	default:
+		return fmt.Errorf("experiments: unknown figure kind %q", f.Kind)
+	}
+}
+
+// PrintCostRatio renders a cost-ratio sweep as the figure's series: one row
+// per network size, one column per algorithm.
+func PrintCostRatio(w io.Writer, res *CostRatioResult, query bool) {
+	fmt.Fprintf(w, "%-8s", "nodes")
+	for _, a := range res.Algorithms {
+		fmt.Fprintf(w, "%18s", a)
+	}
+	fmt.Fprintln(w)
+	table := res.MaintenanceMean
+	if query {
+		table = res.QueryMean
+	}
+	for si, n := range res.Sizes {
+		fmt.Fprintf(w, "%-8d", n)
+		for a := range res.Algorithms {
+			fmt.Fprintf(w, "%18.3f", table[a][si])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintLoad renders a load comparison: headline counts plus the histogram
+// series of both algorithms.
+func PrintLoad(w io.Writer, res *LoadResult) {
+	fmt.Fprintf(w, "%s\n", res.String())
+	fmt.Fprintf(w, "%-8s%12s%12s\n", "load", "MOT nodes", res.Config.Baseline)
+	for b := range res.MOT.Histogram {
+		label := fmt.Sprintf("%d", b)
+		if b == len(res.MOT.Histogram)-1 {
+			label = fmt.Sprintf(">=%d", b)
+		}
+		fmt.Fprintf(w, "%-8s%12d%12d\n", label, res.MOT.Histogram[b], res.Baseline.Histogram[b])
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/lb"
+	"repro/internal/mobility"
+	"repro/internal/stats"
+	"repro/internal/treedir"
+)
+
+// LoadConfig parameterizes a load/node comparison (Figs. 8–11).
+type LoadConfig struct {
+	// Nodes is the network size (1024 in the paper).
+	Nodes int
+	// Objects is m (100).
+	Objects int
+	// MovesPerObject performed before measuring; 0 measures right after
+	// initialization (Figs. 8/10), 10 matches Figs. 9/11.
+	MovesPerObject int
+	// Baseline is AlgSTUN or AlgZDAT.
+	Baseline string
+	// Seed drives placement and movement.
+	Seed int64
+	// HistogramMax is the largest per-node load bucket reported.
+	HistogramMax int
+	// ZoneDepth is Z-DAT's quadrant depth.
+	ZoneDepth int
+}
+
+func (c *LoadConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1024
+	}
+	if c.Objects <= 0 {
+		c.Objects = 100
+	}
+	if c.Baseline == "" {
+		c.Baseline = AlgSTUN
+	}
+	if c.HistogramMax <= 0 {
+		c.HistogramMax = 20
+	}
+	if c.ZoneDepth <= 0 {
+		c.ZoneDepth = 2
+	}
+}
+
+// LoadResult compares per-node load distributions.
+type LoadResult struct {
+	Config       LoadConfig
+	MOT          stats.LoadStats
+	Baseline     stats.LoadStats
+	MOTLoad      []int
+	BaselineLoad []int
+}
+
+// RunLoad reproduces the load/node comparisons: MOT with §5 load balancing
+// against a baseline, measured after initialization or after a burst of
+// maintenance operations. The paper's headline is the count of nodes with
+// load > 10 (zero for MOT, positive for STUN and Z-DAT).
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg.fill()
+	g := graph.NearSquareGrid(cfg.Nodes)
+	m := graph.NewMetric(g)
+	m.Precompute(0)
+	w, err := mobility.Generate(g, m, mobility.Config{
+		Objects:        cfg.Objects,
+		MovesPerObject: cfg.MovesPerObject,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rates := w.DetectionRates(g)
+
+	// MOT with hashed-cluster placement.
+	hs, err := hier.Build(g, m, hier.Config{Seed: cfg.Seed, SpecialParentOffset: 2})
+	if err != nil {
+		return nil, err
+	}
+	mot := core.New(hs, core.Config{Placement: lb.New(hs)})
+	for o, at := range w.Initial {
+		if err := mot.Publish(core.ObjectID(o), at); err != nil {
+			return nil, err
+		}
+	}
+	for _, mv := range w.Moves {
+		if err := mot.Move(mv.Object, mv.To); err != nil {
+			return nil, err
+		}
+	}
+	motLoad := mot.LoadByNode(g.N())
+
+	// Baseline.
+	t, tc, err := baselineTree(cfg.Baseline, g, m, rates, cfg.ZoneDepth)
+	if err != nil {
+		return nil, err
+	}
+	base, err := treedir.New(t, m, tc)
+	if err != nil {
+		return nil, err
+	}
+	for o, at := range w.Initial {
+		if err := base.Publish(core.ObjectID(o), at); err != nil {
+			return nil, err
+		}
+	}
+	for _, mv := range w.Moves {
+		if err := base.Move(mv.Object, mv.To); err != nil {
+			return nil, err
+		}
+	}
+	baseLoad := base.LoadByNode(g.N())
+
+	return &LoadResult{
+		Config:       cfg,
+		MOT:          stats.SummarizeLoad(motLoad, cfg.HistogramMax),
+		Baseline:     stats.SummarizeLoad(baseLoad, cfg.HistogramMax),
+		MOTLoad:      motLoad,
+		BaselineLoad: baseLoad,
+	}, nil
+}
+
+// String renders the headline comparison.
+func (r *LoadResult) String() string {
+	return fmt.Sprintf("MOT: max=%d nodes>10=%d mean=%.2f | %s: max=%d nodes>10=%d mean=%.2f",
+		r.MOT.Max, r.MOT.AboveTen, r.MOT.Mean,
+		r.Config.Baseline, r.Baseline.Max, r.Baseline.AboveTen, r.Baseline.Mean)
+}

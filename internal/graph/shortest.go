@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+)
+
+// Inf is the distance reported between disconnected nodes.
+var Inf = math.Inf(1)
+
+// distHeap is a binary heap of (node, distance) pairs for Dijkstra.
+type distItem struct {
+	node NodeID
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SSSP holds single-source shortest-path results from one source node.
+type SSSP struct {
+	Source NodeID
+	Dist   []float64
+	Parent []NodeID // Parent[v] is the predecessor of v on a shortest path; Undefined at the source and for unreachable nodes
+}
+
+// Dijkstra computes single-source shortest paths from src using a binary
+// heap (lazy deletion). It panics if src is out of range.
+func (g *Graph) Dijkstra(src NodeID) *SSSP {
+	if !g.valid(src) {
+		panic("graph: Dijkstra source out of range")
+	}
+	dist := make([]float64, g.n)
+	parent := make([]NodeID, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = Undefined
+	}
+	dist[src] = 0
+	h := distHeap{{node: src, d: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(distItem)
+		u := it.node
+		if it.d > dist[u] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[u] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				parent[e.to] = u
+				heap.Push(&h, distItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return &SSSP{Source: src, Dist: dist, Parent: parent}
+}
+
+// PathTo reconstructs the shortest path from the SSSP source to v, inclusive
+// of both endpoints. It returns nil if v is unreachable.
+func (s *SSSP) PathTo(v NodeID) []NodeID {
+	if int(v) < 0 || int(v) >= len(s.Dist) || math.IsInf(s.Dist[v], 1) {
+		return nil
+	}
+	var rev []NodeID
+	for u := v; u != Undefined; u = s.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Metric provides O(1) shortest-path distance queries over a graph by
+// caching single-source results on demand. It is safe for concurrent use.
+// For the experiment sizes in the paper (≤1024 nodes) the full all-pairs
+// table fits comfortably in memory.
+type Metric struct {
+	g  *Graph
+	mu sync.RWMutex
+	by map[NodeID][]float64
+}
+
+// NewMetric returns a lazy all-pairs shortest-path oracle for g. The graph
+// must not be mutated afterwards.
+func NewMetric(g *Graph) *Metric {
+	return &Metric{g: g, by: make(map[NodeID][]float64)}
+}
+
+// Graph returns the underlying graph.
+func (m *Metric) Graph() *Graph { return m.g }
+
+// Dist returns the shortest-path distance between u and v (Inf if
+// disconnected). Results are cached per source row.
+func (m *Metric) Dist(u, v NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	return m.Row(u)[v]
+}
+
+// Row returns the full distance row from u. The returned slice is shared;
+// callers must not modify it.
+func (m *Metric) Row(u NodeID) []float64 {
+	m.mu.RLock()
+	row, ok := m.by[u]
+	m.mu.RUnlock()
+	if ok {
+		return row
+	}
+	res := m.g.Dijkstra(u)
+	m.mu.Lock()
+	if prev, ok := m.by[u]; ok { // racing fill; keep first
+		m.mu.Unlock()
+		return prev
+	}
+	m.by[u] = res.Dist
+	m.mu.Unlock()
+	return res.Dist
+}
+
+// Precompute fills the cache for every source, using par goroutines
+// (par <= 0 means one goroutine per available result slot, bounded at 8).
+func (m *Metric) Precompute(par int) {
+	if par <= 0 {
+		par = 8
+	}
+	type job struct{ u NodeID }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				m.Row(j.u)
+			}
+		}()
+	}
+	for u := 0; u < m.g.n; u++ {
+		jobs <- job{NodeID(u)}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Diameter returns the maximum finite shortest-path distance over all node
+// pairs; 0 for graphs with fewer than two nodes. It returns Inf if the
+// graph is disconnected.
+func (m *Metric) Diameter() float64 {
+	if m.g.n < 2 {
+		return 0
+	}
+	d := 0.0
+	for u := 0; u < m.g.n; u++ {
+		row := m.Row(NodeID(u))
+		for v := u + 1; v < m.g.n; v++ {
+			if row[v] > d {
+				d = row[v]
+			}
+		}
+	}
+	return d
+}
+
+// Eccentricity returns max_v dist(u, v).
+func (m *Metric) Eccentricity(u NodeID) float64 {
+	row := m.Row(u)
+	e := 0.0
+	for _, d := range row {
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// Center returns a node with minimum eccentricity (a natural sink/root).
+func (m *Metric) Center() NodeID {
+	best, bestE := NodeID(0), math.Inf(1)
+	for u := 0; u < m.g.n; u++ {
+		if e := m.Eccentricity(NodeID(u)); e < bestE {
+			best, bestE = NodeID(u), e
+		}
+	}
+	return best
+}
+
+// BallSize returns |{v : dist(u,v) <= r}| including u itself.
+func (m *Metric) BallSize(u NodeID, r float64) int {
+	row := m.Row(u)
+	c := 0
+	for _, d := range row {
+		if d <= r {
+			c++
+		}
+	}
+	return c
+}
+
+// Ball returns the nodes within distance r of u (including u).
+func (m *Metric) Ball(u NodeID, r float64) []NodeID {
+	row := m.Row(u)
+	var out []NodeID
+	for v, d := range row {
+		if d <= r {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// DoublingEstimate returns an empirical estimate of the doubling dimension
+// rho of the graph metric: the max over sampled centers and radii of
+// log2(|B(u,2r)| / |B(u,r)|), a standard proxy used to size hierarchy
+// constants. samples limits the number of centers probed (<=0 means all).
+func (m *Metric) DoublingEstimate(samples int) float64 {
+	n := m.g.n
+	if n == 0 {
+		return 0
+	}
+	if samples <= 0 || samples > n {
+		samples = n
+	}
+	step := n / samples
+	if step == 0 {
+		step = 1
+	}
+	maxRho := 0.0
+	diam := m.Diameter()
+	for u := 0; u < n; u += step {
+		for r := 1.0; r <= diam; r *= 2 {
+			b1 := m.BallSize(NodeID(u), r)
+			b2 := m.BallSize(NodeID(u), 2*r)
+			if b1 > 0 && b2 > b1 {
+				if rho := math.Log2(float64(b2) / float64(b1)); rho > maxRho {
+					maxRho = rho
+				}
+			}
+		}
+	}
+	return maxRho
+}

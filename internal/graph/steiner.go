@@ -1,0 +1,59 @@
+package graph
+
+import "sort"
+
+// SteinerApprox returns the weight of a Steiner tree connecting the given
+// terminal nodes, computed with the classic metric-closure MST
+// 2-approximation: build the complete graph over terminals weighted by
+// shortest-path distances and take its minimum spanning tree. The paper's
+// concurrent-case analysis (§4.1.2) lower-bounds the cost of a batch of
+// simultaneous maintenance operations by the Steiner tree of the issuing
+// nodes; this approximation is within a factor 2 of the optimum (and the
+// true optimum is at least half the returned weight).
+//
+// Duplicate terminals are ignored; fewer than two distinct terminals cost
+// zero.
+func SteinerApprox(m *Metric, terminals []NodeID) float64 {
+	uniq := make([]NodeID, 0, len(terminals))
+	seen := make(map[NodeID]bool, len(terminals))
+	for _, t := range terminals {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	if len(uniq) < 2 {
+		return 0
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+
+	// Prim's algorithm over the metric closure.
+	const unvisited = -1
+	inTree := make([]bool, len(uniq))
+	best := make([]float64, len(uniq))
+	for i := range best {
+		best[i] = m.Dist(uniq[0], uniq[i])
+	}
+	inTree[0] = true
+	total := 0.0
+	for added := 1; added < len(uniq); added++ {
+		pick := unvisited
+		for i := range uniq {
+			if inTree[i] {
+				continue
+			}
+			if pick == unvisited || best[i] < best[pick] {
+				pick = i
+			}
+		}
+		total += best[pick]
+		inTree[pick] = true
+		row := m.Row(uniq[pick])
+		for i := range uniq {
+			if !inTree[i] && row[uniq[i]] < best[i] {
+				best[i] = row[uniq[i]]
+			}
+		}
+	}
+	return total
+}

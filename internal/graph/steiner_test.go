@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSteinerTrivialCases(t *testing.T) {
+	g := Grid(5, 5)
+	m := NewMetric(g)
+	if w := SteinerApprox(m, nil); w != 0 {
+		t.Fatalf("empty terminals: %v", w)
+	}
+	if w := SteinerApprox(m, []NodeID{3}); w != 0 {
+		t.Fatalf("single terminal: %v", w)
+	}
+	if w := SteinerApprox(m, []NodeID{3, 3, 3}); w != 0 {
+		t.Fatalf("duplicate terminals: %v", w)
+	}
+	if w := SteinerApprox(m, []NodeID{0, 4}); w != 4 {
+		t.Fatalf("pair: %v, want 4", w)
+	}
+}
+
+func TestSteinerKnownValues(t *testing.T) {
+	g := Path(10)
+	m := NewMetric(g)
+	// Terminals on a path: the Steiner tree is the spanning interval.
+	if w := SteinerApprox(m, []NodeID{2, 5, 9}); w != 7 {
+		t.Fatalf("path terminals: %v, want 7", w)
+	}
+	// Star: center plus k leaves costs k.
+	s := Star(6)
+	ms := NewMetric(s)
+	if w := SteinerApprox(ms, []NodeID{0, 1, 2, 3}); w != 3 {
+		t.Fatalf("star terminals: %v, want 3", w)
+	}
+	// Leaves only: the metric-closure MST pays 2 per additional leaf.
+	if w := SteinerApprox(ms, []NodeID{1, 2, 3}); w != 4 {
+		t.Fatalf("star leaves: %v, want 4", w)
+	}
+}
+
+// Properties: the approximation is at least the diameter of the terminal
+// set (any connecting tree spans the farthest pair) and at most the sum of
+// consecutive distances in ID order (a particular spanning path).
+func TestQuickSteinerBounds(t *testing.T) {
+	g := Grid(8, 8)
+	m := NewMetric(g)
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		terms := make([]NodeID, len(raw))
+		for i, r := range raw {
+			terms[i] = NodeID(int(r) % g.N())
+		}
+		w := SteinerApprox(m, terms)
+		// Lower bound: max pairwise distance.
+		maxD := 0.0
+		for i := range terms {
+			for j := i + 1; j < len(terms); j++ {
+				if d := m.Dist(terms[i], terms[j]); d > maxD {
+					maxD = d
+				}
+			}
+		}
+		if w < maxD-1e-9 {
+			return false
+		}
+		// Upper bound: chain in sorted order of distinct terminals.
+		seen := map[NodeID]bool{}
+		var uniq []NodeID
+		for _, u := range terms {
+			if !seen[u] {
+				seen[u] = true
+				uniq = append(uniq, u)
+			}
+		}
+		chain := 0.0
+		for i := 1; i < len(uniq); i++ {
+			chain += m.Dist(uniq[i-1], uniq[i])
+		}
+		return w <= chain+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerMonotoneUnderSubsets(t *testing.T) {
+	g := Grid(6, 6)
+	m := NewMetric(g)
+	rng := rand.New(rand.NewSource(3))
+	terms := []NodeID{}
+	prev := 0.0
+	for i := 0; i < 8; i++ {
+		terms = append(terms, NodeID(rng.Intn(g.N())))
+		w := SteinerApprox(m, terms)
+		if w+1e-9 < prev/2 {
+			// MST approximations are not strictly monotone, but cannot
+			// collapse below half the previous optimum bound.
+			t.Fatalf("Steiner weight collapsed: %v after %v", w, prev)
+		}
+		prev = w
+	}
+}
+
+func BenchmarkSteinerApprox(b *testing.B) {
+	g := Grid(16, 16)
+	m := NewMetric(g)
+	m.Precompute(0)
+	terms := make([]NodeID, 12)
+	for i := range terms {
+		terms[i] = NodeID(i * 19 % g.N())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SteinerApprox(m, terms)
+	}
+}

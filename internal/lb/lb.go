@@ -1,0 +1,129 @@
+// Package lb implements the paper's §5 load balancing: each internal
+// station of the overlay forms a cluster of all sensors within radius 2^i
+// of it (i = station level), a de Bruijn graph is embedded over the cluster
+// members, and directory entries are spread across members by hashing the
+// object key modulo the cluster size. Requests reaching the station are
+// routed to the entry holder over the embedded de Bruijn edges, which
+// multiplies maintenance and query costs by O(log n) (Corollary 5.2) while
+// reducing the per-node load ratio to O(log D) (Theorem 5.1).
+package lb
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/debruijn"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// Balancer distributes directory entries across station clusters. It
+// implements core.Placement.
+type Balancer struct {
+	m *graph.Metric
+	// deBruijnHops prices each access as the full virtual-hop route of
+	// Corollary 5.2 (leader to holder over de Bruijn edges). The default
+	// prices the direct leader-to-holder distance, modeling leaders that
+	// cache resolved holder addresses after the first de Bruijn lookup.
+	deBruijnHops bool
+
+	mu       sync.Mutex
+	clusters map[clusterKey]*debruijn.Embedding
+}
+
+type clusterKey struct {
+	level int
+	host  graph.NodeID
+}
+
+// New creates a balancer over the network metric of the given overlay.
+func New(ov overlay.Overlay) *Balancer {
+	return &Balancer{m: ov.Metric(), clusters: make(map[clusterKey]*debruijn.Embedding)}
+}
+
+// NewDeBruijnPriced creates a balancer whose routing surcharge counts every
+// virtual de Bruijn hop (the Corollary 5.2 cost model, used by ablations).
+func NewDeBruijnPriced(ov overlay.Overlay) *Balancer {
+	return &Balancer{m: ov.Metric(), deBruijnHops: true, clusters: make(map[clusterKey]*debruijn.Embedding)}
+}
+
+// cluster returns (building lazily) the de Bruijn embedding of the cluster
+// around the station's host: all sensors within 2^level.
+func (b *Balancer) cluster(st overlay.Station) *debruijn.Embedding {
+	k := clusterKey{level: st.Level, host: st.Host}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.clusters[k]; ok {
+		return e
+	}
+	r := math.Pow(2, float64(st.Level))
+	members := b.m.Ball(st.Host, r)
+	e := debruijn.New(members)
+	b.clusters[k] = e
+	return e
+}
+
+// hashLabel maps an object key to a member label of the cluster (the
+// paper's key(o) mod |X| placement; keys are already uniform in the
+// workloads, and a multiplicative scramble guards against striding).
+func hashLabel(o core.ObjectID, size int) int {
+	if size <= 1 {
+		return 0
+	}
+	x := uint64(o)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(size))
+}
+
+// Place returns the cluster member that stores the entry for o at st.
+// Bottom-level stations (proxies) always store their own entries.
+func (b *Balancer) Place(st overlay.Station, o core.ObjectID) graph.NodeID {
+	if st.Level == 0 {
+		return st.Host
+	}
+	e := b.cluster(st)
+	label := hashLabel(o, e.Size())
+	h, err := e.Host(label)
+	if err != nil {
+		return st.Host
+	}
+	return h
+}
+
+// RouteCost returns the routing surcharge from the station host (the
+// cluster leader) to the entry holder: the direct distance by default, or
+// the full de Bruijn virtual-hop route for Corollary 5.2 pricing.
+func (b *Balancer) RouteCost(st overlay.Station, o core.ObjectID) float64 {
+	if st.Level == 0 {
+		return 0
+	}
+	e := b.cluster(st)
+	to := hashLabel(o, e.Size())
+	if !b.deBruijnHops {
+		h, err := e.Host(to)
+		if err != nil {
+			return 0
+		}
+		return b.m.Dist(st.Host, h)
+	}
+	from := e.LabelOf(st.Host)
+	if from < 0 {
+		from = 0
+	}
+	c, err := e.RouteCost(b.m, from, to)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+// ClusterSize reports the member count of the cluster around a station,
+// for diagnostics and tests.
+func (b *Balancer) ClusterSize(st overlay.Station) int {
+	return b.cluster(st).Size()
+}
+
+var _ core.Placement = (*Balancer)(nil)

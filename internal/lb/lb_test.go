@@ -1,0 +1,179 @@
+package lb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/overlay"
+)
+
+func buildOverlay(t testing.TB, w, h int) (*hier.Hierarchy, *graph.Graph) {
+	t.Helper()
+	g := graph.Grid(w, h)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 1, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hs, g
+}
+
+func TestPlaceLevelZeroIsHost(t *testing.T) {
+	hs, _ := buildOverlay(t, 6, 6)
+	b := New(hs)
+	st := overlay.Station{Level: 0, Key: 7, Host: 7}
+	if got := b.Place(st, 42); got != 7 {
+		t.Fatalf("level-0 placement %d", got)
+	}
+	if c := b.RouteCost(st, 42); c != 0 {
+		t.Fatalf("level-0 route cost %v", c)
+	}
+}
+
+func TestPlaceInsideCluster(t *testing.T) {
+	hs, _ := buildOverlay(t, 8, 8)
+	b := New(hs)
+	m := hs.Metric()
+	st := overlay.Station{Level: 3, Key: 20, Host: 20}
+	for o := core.ObjectID(0); o < 100; o++ {
+		p := b.Place(st, o)
+		if d := m.Dist(st.Host, p); d > 8 { // 2^3
+			t.Fatalf("object %d placed %v away from cluster center", o, d)
+		}
+	}
+}
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	hs, _ := buildOverlay(t, 8, 8)
+	b := New(hs)
+	st := overlay.Station{Level: 3, Key: 20, Host: 20}
+	counts := map[graph.NodeID]int{}
+	const objs = 500
+	for o := core.ObjectID(0); o < objs; o++ {
+		counts[b.Place(st, o)]++
+	}
+	size := b.ClusterSize(st)
+	if size < 10 {
+		t.Fatalf("cluster unexpectedly small: %d", size)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Perfectly even would be objs/size; allow 3x imbalance.
+	if max > 3*objs/size+3 {
+		t.Fatalf("max load %d across cluster of %d for %d objects", max, size, objs)
+	}
+	if len(counts) < size/2 {
+		t.Fatalf("only %d of %d members used", len(counts), size)
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	hs, _ := buildOverlay(t, 8, 8)
+	b1, b2 := New(hs), New(hs)
+	st := overlay.Station{Level: 2, Key: 11, Host: 11}
+	for o := core.ObjectID(0); o < 50; o++ {
+		if b1.Place(st, o) != b2.Place(st, o) {
+			t.Fatalf("placement not deterministic for object %d", o)
+		}
+	}
+}
+
+func TestRouteCostBounded(t *testing.T) {
+	hs, _ := buildOverlay(t, 8, 8)
+	b := New(hs)
+	st := overlay.Station{Level: 3, Key: 20, Host: 20}
+	e := b.cluster(st)
+	// Route cost <= dimension * (2 * cluster radius): each virtual hop is
+	// between two members of the radius-8 cluster.
+	bound := float64(e.Dimension()) * 16
+	for o := core.ObjectID(0); o < 100; o++ {
+		if c := b.RouteCost(st, o); c < 0 || c > bound {
+			t.Fatalf("route cost %v outside [0, %v]", c, bound)
+		}
+	}
+}
+
+// Integration with the directory: load balancing keeps the maximum node
+// load far below the root-concentrated load of the unbalanced directory.
+func TestDirectoryLoadBalanced(t *testing.T) {
+	hs, g := buildOverlay(t, 11, 11)
+	rng := rand.New(rand.NewSource(7))
+	const objs = 100
+
+	run := func(pl core.Placement) []int {
+		d := core.New(hs, core.Config{Placement: pl})
+		for o := 0; o < objs; o++ {
+			if err := d.Publish(core.ObjectID(o), graph.NodeID(rng.Intn(g.N()))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.LoadByNode(g.N())
+	}
+
+	rng = rand.New(rand.NewSource(7))
+	plain := run(core.HostPlacement{})
+	rng = rand.New(rand.NewSource(7))
+	balanced := run(New(hs))
+
+	maxOf := func(xs []int) int {
+		m := 0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if maxOf(balanced) >= maxOf(plain) {
+		t.Fatalf("balancing did not reduce max load: %d vs %d", maxOf(balanced), maxOf(plain))
+	}
+	// The root concentrates ~objs entries without balancing.
+	if maxOf(plain) < objs/2 {
+		t.Fatalf("unbalanced max load suspiciously low: %d", maxOf(plain))
+	}
+}
+
+// Balanced directories still answer every query correctly and pay the
+// routing surcharge in their cost meter.
+func TestBalancedDirectoryCorrectWithSurcharge(t *testing.T) {
+	hs, g := buildOverlay(t, 8, 8)
+	d := core.New(hs, core.Config{Placement: New(hs)})
+	rng := rand.New(rand.NewSource(3))
+	locs := make([]graph.NodeID, 10)
+	for o := range locs {
+		locs[o] = graph.NodeID(rng.Intn(g.N()))
+		if err := d.Publish(core.ObjectID(o), locs[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 150; i++ {
+		o := rng.Intn(len(locs))
+		nbrs := g.NeighborIDs(locs[o])
+		locs[o] = nbrs[rng.Intn(len(nbrs))]
+		if err := d.Move(core.ObjectID(o), locs[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for o := range locs {
+		got, _, err := d.Query(graph.NodeID(rng.Intn(g.N())), core.ObjectID(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != locs[o] {
+			t.Fatalf("object %d at %d, query said %d", o, locs[o], got)
+		}
+	}
+	if d.Meter().LBRouteCost <= 0 {
+		t.Fatal("no de Bruijn routing surcharge recorded")
+	}
+}

@@ -1,0 +1,203 @@
+// Package mis implements Luby's randomized distributed Maximal Independent
+// Set algorithm (Luby, STOC 1985), the building block the paper uses to
+// select the leader nodes of each level of the tracking hierarchy HS (§2.2).
+//
+// Two realizations are provided with identical semantics: Luby runs the
+// per-round logic sequentially (deterministic given the seed), and
+// LubyParallel runs one goroutine per node per round with channel
+// synchronization, mirroring the distributed execution on real sensors.
+package mis
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Adjacency reports the neighbors of a node in the (level) graph on which
+// the MIS is computed. It must be symmetric: v in adj(u) iff u in adj(v).
+type Adjacency func(u graph.NodeID) []graph.NodeID
+
+const (
+	statusActive = iota
+	statusIn
+	statusOut
+)
+
+// Luby computes a maximal independent set of the graph induced by nodes and
+// adj, using Luby's algorithm: in each round every still-active node draws
+// a random priority, joins the MIS if its priority beats all active
+// neighbors (ties broken by node ID), and then MIS members and their
+// neighbors retire. The result is sorted by node ID. rng must not be nil.
+func Luby(nodes []graph.NodeID, adj Adjacency, rng *rand.Rand) []graph.NodeID {
+	status := make(map[graph.NodeID]int, len(nodes))
+	for _, u := range nodes {
+		status[u] = statusActive
+	}
+	active := append([]graph.NodeID(nil), nodes...)
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+
+	var result []graph.NodeID
+	for len(active) > 0 {
+		prio := make(map[graph.NodeID]float64, len(active))
+		for _, u := range active {
+			prio[u] = rng.Float64()
+		}
+		var joined []graph.NodeID
+		for _, u := range active {
+			wins := true
+			for _, v := range adj(u) {
+				if status[v] != statusActive {
+					continue
+				}
+				pv := prio[v]
+				if pv < prio[u] || (pv == prio[u] && v < u) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				joined = append(joined, u)
+			}
+		}
+		for _, u := range joined {
+			status[u] = statusIn
+			result = append(result, u)
+			for _, v := range adj(u) {
+				if status[v] == statusActive {
+					status[v] = statusOut
+				}
+			}
+		}
+		next := active[:0]
+		for _, u := range active {
+			if status[u] == statusActive {
+				next = append(next, u)
+			}
+		}
+		active = next
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	return result
+}
+
+// LubyParallel computes an MIS with the same round structure as Luby but
+// evaluates each round's win condition concurrently, one goroutine per
+// active node — the shape of the actual distributed algorithm, where each
+// sensor exchanges priorities with neighbors and decides locally. Given the
+// same rng seed it returns the same set as Luby (priorities are drawn
+// centrally per round in node-ID order to keep the stream deterministic).
+func LubyParallel(nodes []graph.NodeID, adj Adjacency, rng *rand.Rand) []graph.NodeID {
+	status := sync.Map{} // graph.NodeID -> int
+	for _, u := range nodes {
+		status.Store(u, statusActive)
+	}
+	active := append([]graph.NodeID(nil), nodes...)
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+
+	stat := func(u graph.NodeID) int {
+		v, ok := status.Load(u)
+		if !ok {
+			return statusOut
+		}
+		return v.(int)
+	}
+
+	var result []graph.NodeID
+	for len(active) > 0 {
+		prio := make(map[graph.NodeID]float64, len(active))
+		for _, u := range active {
+			prio[u] = rng.Float64()
+		}
+		wins := make([]bool, len(active))
+		var wg sync.WaitGroup
+		for i, u := range active {
+			wg.Add(1)
+			go func(i int, u graph.NodeID) {
+				defer wg.Done()
+				w := true
+				for _, v := range adj(u) {
+					if stat(v) != statusActive {
+						continue
+					}
+					pv, ok := prio[v]
+					if !ok {
+						continue
+					}
+					if pv < prio[u] || (pv == prio[u] && v < u) {
+						w = false
+						break
+					}
+				}
+				wins[i] = w
+			}(i, u)
+		}
+		wg.Wait()
+		for i, u := range active {
+			if wins[i] {
+				status.Store(u, statusIn)
+				result = append(result, u)
+			}
+		}
+		for i, u := range active {
+			if wins[i] {
+				for _, v := range adj(u) {
+					if stat(v) == statusActive {
+						status.Store(v, statusOut)
+					}
+				}
+			}
+		}
+		next := active[:0]
+		for _, u := range active {
+			if stat(u) == statusActive {
+				next = append(next, u)
+			}
+		}
+		active = next
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	return result
+}
+
+// Verify checks that set is an independent and maximal subset of nodes
+// under adj, returning false with a reason when it is not. Used by tests
+// and by the hierarchy's self-checks.
+func Verify(nodes []graph.NodeID, adj Adjacency, set []graph.NodeID) (bool, string) {
+	in := make(map[graph.NodeID]bool, len(set))
+	universe := make(map[graph.NodeID]bool, len(nodes))
+	for _, u := range nodes {
+		universe[u] = true
+	}
+	for _, u := range set {
+		if !universe[u] {
+			return false, "set member not in node universe"
+		}
+		in[u] = true
+	}
+	for _, u := range set {
+		for _, v := range adj(u) {
+			if in[v] && v != u {
+				return false, "set not independent"
+			}
+		}
+	}
+	for _, u := range nodes {
+		if in[u] {
+			continue
+		}
+		dominated := false
+		for _, v := range adj(u) {
+			if in[v] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false, "set not maximal"
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,169 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func graphAdj(g *graph.Graph) Adjacency {
+	return func(u graph.NodeID) []graph.NodeID { return g.NeighborIDs(u) }
+}
+
+func allNodes(g *graph.Graph) []graph.NodeID {
+	nodes := make([]graph.NodeID, g.N())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	return nodes
+}
+
+func TestLubyOnGridIsMaximalIndependent(t *testing.T) {
+	g := graph.Grid(8, 8)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		set := Luby(allNodes(g), graphAdj(g), rng)
+		ok, why := Verify(allNodes(g), graphAdj(g), set)
+		if !ok {
+			t.Fatalf("seed %d: %s (set %v)", seed, why, set)
+		}
+		if len(set) == 0 {
+			t.Fatalf("seed %d: empty MIS on non-empty graph", seed)
+		}
+	}
+}
+
+func TestLubyEmptyAndSingleton(t *testing.T) {
+	g := graph.New(1)
+	rng := rand.New(rand.NewSource(1))
+	set := Luby(nil, graphAdj(g), rng)
+	if len(set) != 0 {
+		t.Fatalf("MIS of empty node set: %v", set)
+	}
+	set = Luby([]graph.NodeID{0}, graphAdj(g), rng)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("MIS of singleton: %v", set)
+	}
+}
+
+func TestLubyEdgelessIncludesAll(t *testing.T) {
+	g := graph.New(7)
+	rng := rand.New(rand.NewSource(3))
+	set := Luby(allNodes(g), graphAdj(g), rng)
+	if len(set) != 7 {
+		t.Fatalf("MIS of edgeless graph has %d nodes, want 7", len(set))
+	}
+}
+
+func TestLubyCliqueSelectsOne(t *testing.T) {
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), 1)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	set := Luby(allNodes(g), graphAdj(g), rng)
+	if len(set) != 1 {
+		t.Fatalf("MIS of K6 has %d nodes, want 1", len(set))
+	}
+}
+
+func TestLubySubsetOfNodes(t *testing.T) {
+	// MIS over only the even nodes of a path: odd nodes invisible.
+	g := graph.Path(10)
+	evens := []graph.NodeID{0, 2, 4, 6, 8}
+	// In the induced subgraph the evens have no edges, so all are in.
+	rng := rand.New(rand.NewSource(5))
+	adj := func(u graph.NodeID) []graph.NodeID {
+		var out []graph.NodeID
+		for _, v := range g.NeighborIDs(u) {
+			if v%2 == 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	set := Luby(evens, adj, rng)
+	if len(set) != 5 {
+		t.Fatalf("induced MIS %v", set)
+	}
+}
+
+func TestLubyParallelMatchesSequential(t *testing.T) {
+	g := graph.Grid(9, 9)
+	for seed := int64(0); seed < 8; seed++ {
+		s1 := Luby(allNodes(g), graphAdj(g), rand.New(rand.NewSource(seed)))
+		s2 := LubyParallel(allNodes(g), graphAdj(g), rand.New(rand.NewSource(seed)))
+		if len(s1) != len(s2) {
+			t.Fatalf("seed %d: sizes differ %d vs %d", seed, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("seed %d: sets differ at %d: %v vs %v", seed, i, s1, s2)
+			}
+		}
+	}
+}
+
+func TestLubyParallelIsMaximalIndependent(t *testing.T) {
+	g := graph.Ring(30)
+	rng := rand.New(rand.NewSource(17))
+	set := LubyParallel(allNodes(g), graphAdj(g), rng)
+	ok, why := Verify(allNodes(g), graphAdj(g), set)
+	if !ok {
+		t.Fatalf("%s: %v", why, set)
+	}
+	// Ring MIS size between n/3 and n/2.
+	if len(set) < 10 || len(set) > 15 {
+		t.Fatalf("ring-30 MIS size %d outside [10,15]", len(set))
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	nodes := allNodes(g)
+	adj := graphAdj(g)
+	if ok, _ := Verify(nodes, adj, []graph.NodeID{0, 1}); ok {
+		t.Fatal("Verify accepted dependent set {0,1}")
+	}
+	if ok, _ := Verify(nodes, adj, []graph.NodeID{0}); ok {
+		t.Fatal("Verify accepted non-maximal set {0}")
+	}
+	if ok, _ := Verify(nodes, adj, []graph.NodeID{9}); ok {
+		t.Fatal("Verify accepted out-of-universe member")
+	}
+	if ok, why := Verify(nodes, adj, []graph.NodeID{0, 2}); !ok {
+		t.Fatalf("Verify rejected valid MIS {0,2}: %s", why)
+	}
+	if ok, why := Verify(nodes, adj, []graph.NodeID{1, 3}); !ok {
+		t.Fatalf("Verify rejected valid MIS {1,3}: %s", why)
+	}
+}
+
+// Property: Luby output on random geometric graphs is always a valid MIS.
+func TestQuickLubyAlwaysValid(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 5 + int(sz)%40
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGeometric(n, 6, 2, rng)
+		set := Luby(allNodes(g), graphAdj(g), rng)
+		ok, _ := Verify(allNodes(g), graphAdj(g), set)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLubyGrid32(b *testing.B) {
+	g := graph.Grid(32, 32)
+	nodes := allNodes(g)
+	adj := graphAdj(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Luby(nodes, adj, rand.New(rand.NewSource(int64(i))))
+	}
+}

@@ -1,0 +1,57 @@
+package mobility
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Workloads round-trip through JSON (cmd/mottrace dumps them for external
+// tooling; replays must see identical operations).
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	g := graph.Grid(5, 5)
+	m := graph.NewMetric(g)
+	w, err := Generate(g, m, Config{Objects: 4, MovesPerObject: 30, Queries: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	var back Workload
+	if err := json.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Objects != w.Objects || len(back.Moves) != len(w.Moves) || len(back.Queries) != len(w.Queries) {
+		t.Fatalf("shape changed: %+v", back)
+	}
+	for i := range w.Moves {
+		if back.Moves[i] != w.Moves[i] {
+			t.Fatalf("move %d changed", i)
+		}
+	}
+	for i := range w.Queries {
+		if back.Queries[i] != w.Queries[i] {
+			t.Fatalf("query %d changed", i)
+		}
+	}
+	for o := range w.Initial {
+		if back.Initial[o] != w.Initial[o] {
+			t.Fatalf("initial %d changed", o)
+		}
+	}
+	// Derived data matches too.
+	r1 := w.DetectionRates(g)
+	r2 := back.DetectionRates(g)
+	if len(r1) != len(r2) {
+		t.Fatalf("rates differ: %d vs %d edges", len(r1), len(r2))
+	}
+	for k, v := range r1 {
+		if r2[k] != v {
+			t.Fatalf("rate for %v changed", k)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathOn(hosts ...[]graph.NodeID) Path {
+	p := make(Path, len(hosts))
+	for l, hs := range hosts {
+		for _, h := range hs {
+			p[l] = append(p[l], Station{Level: l, Key: int64(h), Host: h})
+		}
+	}
+	return p
+}
+
+func TestFlatten(t *testing.T) {
+	p := pathOn([]graph.NodeID{0}, []graph.NodeID{1, 2}, []graph.NodeID{3})
+	fl := Flatten(p)
+	want := []graph.NodeID{0, 1, 2, 3}
+	if len(fl) != len(want) {
+		t.Fatalf("flatten %v", fl)
+	}
+	for i, s := range fl {
+		if s.Host != want[i] {
+			t.Fatalf("flatten %v", fl)
+		}
+	}
+}
+
+func TestLengthOnPathGraph(t *testing.T) {
+	g := graph.Path(5)
+	m := graph.NewMetric(g)
+	p := pathOn([]graph.NodeID{0}, []graph.NodeID{2}, []graph.NodeID{4})
+	if got := Length(p, m); got != 4 {
+		t.Fatalf("Length = %v, want 4", got)
+	}
+	if got := LengthUpTo(p, m, 1); got != 2 {
+		t.Fatalf("LengthUpTo(1) = %v, want 2", got)
+	}
+	if got := LengthUpTo(p, m, 0); got != 0 {
+		t.Fatalf("LengthUpTo(0) = %v, want 0", got)
+	}
+	// Multi-station level accrues intra-level travel.
+	p2 := pathOn([]graph.NodeID{0}, []graph.NodeID{1, 3})
+	if got := Length(p2, m); got != 3 { // 0->1 (1) + 1->3 (2)
+		t.Fatalf("Length with parent set = %v, want 3", got)
+	}
+}
+
+func TestMeetLevel(t *testing.T) {
+	a := pathOn([]graph.NodeID{0}, []graph.NodeID{5}, []graph.NodeID{9})
+	b := pathOn([]graph.NodeID{1}, []graph.NodeID{6}, []graph.NodeID{9})
+	if got := MeetLevel(a, b); got != 2 {
+		t.Fatalf("MeetLevel = %d, want 2", got)
+	}
+	c := pathOn([]graph.NodeID{1}, []graph.NodeID{5}, []graph.NodeID{9})
+	if got := MeetLevel(a, c); got != 1 {
+		t.Fatalf("MeetLevel = %d, want 1", got)
+	}
+	d := pathOn([]graph.NodeID{1}, []graph.NodeID{6}, []graph.NodeID{8})
+	if got := MeetLevel(a, d); got != -1 {
+		t.Fatalf("MeetLevel disjoint = %d, want -1", got)
+	}
+	if got := MeetLevel(a, a); got != 0 {
+		t.Fatalf("MeetLevel self = %d, want 0", got)
+	}
+}
+
+func TestSpecialParentWrapsIndex(t *testing.T) {
+	p := pathOn([]graph.NodeID{0}, []graph.NodeID{1, 2, 3}, []graph.NodeID{4, 5}, []graph.NodeID{6})
+	sp, ok := SpecialParent(p, 1, 2, 1)
+	if !ok || sp.Host != 4 { // idx 2 mod len 2 = 0
+		t.Fatalf("sp %v ok %t", sp, ok)
+	}
+	sp, ok = SpecialParent(p, 1, 1, 2)
+	if !ok || sp.Host != 6 {
+		t.Fatalf("sp %v ok %t", sp, ok)
+	}
+	if _, ok := SpecialParent(p, 2, 0, 5); ok {
+		t.Fatal("offset beyond top should be undefined")
+	}
+	if _, ok := SpecialParent(p, 2, 0, 0); ok {
+		t.Fatal("zero offset should be undefined")
+	}
+}
+
+func TestStationString(t *testing.T) {
+	s := Station{Level: 2, Key: 7, Host: 7}
+	if s.String() != "L2/k7@7" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

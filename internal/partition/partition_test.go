@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+func build(t testing.TB, g *graph.Graph, cfg Config) *Hierarchy {
+	t.Helper()
+	m := graph.NewMetric(g)
+	hs, err := Build(g, m, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return hs
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(graph.New(0), graph.NewMetric(graph.New(0)), Config{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := graph.New(2)
+	if _, err := Build(g, graph.NewMetric(g), Config{}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestValidateOnFamilies(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Grid(6, 6),
+		graph.Ring(20),
+		graph.Path(17),
+		graph.Star(12),
+		graph.RandomTree(25, rand.New(rand.NewSource(1))),
+	}
+	for i, g := range cases {
+		hs := build(t, g, Config{})
+		if err := hs.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestHeightBound(t *testing.T) {
+	g := graph.Grid(10, 10)
+	m := graph.NewMetric(g)
+	hs, err := Build(g, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := int(math.Ceil(math.Log2(m.Diameter()))) + 2
+	if hs.Height() > bound {
+		t.Fatalf("height %d > bound %d", hs.Height(), bound)
+	}
+}
+
+func TestMembershipLogarithmic(t *testing.T) {
+	g := graph.Grid(12, 12)
+	hs := build(t, g, Config{})
+	limit := 4 * int(math.Ceil(math.Log2(float64(g.N()))))
+	st := hs.Stats()
+	for l, maxM := range st.MaxMembership {
+		if maxM > limit {
+			t.Fatalf("level %d: node in %d clusters, limit %d", l, maxM, limit)
+		}
+	}
+}
+
+func TestClusterRadiusBound(t *testing.T) {
+	g := graph.Grid(12, 12)
+	hs := build(t, g, Config{})
+	k := math.Ceil(math.Log2(float64(g.N())))
+	for l := 1; l <= hs.Height(); l++ {
+		bound := (2*k + 1) * math.Pow(2, float64(l))
+		for _, c := range hs.Clusters(l) {
+			if c.Radius > bound {
+				t.Fatalf("level %d cluster %d radius %v > bound %v", l, c.ID, c.Radius, bound)
+			}
+		}
+	}
+}
+
+// Lemma 6.1 (first part): detection paths of u and v share a station at
+// level ceil(log dist(u,v)) + 1.
+func TestLemma61MeetingLevel(t *testing.T) {
+	g := graph.Grid(9, 9)
+	m := graph.NewMetric(g)
+	hs, err := Build(g, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 5 {
+		for v := u + 1; v < g.N(); v += 7 {
+			d := m.Dist(graph.NodeID(u), graph.NodeID(v))
+			want := int(math.Ceil(math.Log2(d))) + 1
+			if want > hs.Height() {
+				want = hs.Height()
+			}
+			got := overlay.MeetLevel(hs.DPath(graph.NodeID(u)), hs.DPath(graph.NodeID(v)))
+			if got < 0 || got > want {
+				t.Fatalf("paths of %d,%d (dist %v) meet at %d, bound %d", u, v, d, got, want)
+			}
+		}
+	}
+}
+
+func TestDPathStructure(t *testing.T) {
+	g := graph.Ring(16)
+	hs := build(t, g, Config{})
+	root := hs.Root()
+	for u := 0; u < g.N(); u++ {
+		p := hs.DPath(graph.NodeID(u))
+		if len(p) != hs.Height()+1 {
+			t.Fatalf("path of %d has %d levels", u, len(p))
+		}
+		if len(p[0]) != 1 || p[0][0].Host != graph.NodeID(u) {
+			t.Fatalf("level 0 of %d: %v", u, p[0])
+		}
+		topLevel := p[len(p)-1]
+		if len(topLevel) != 1 || topLevel[0] != root {
+			t.Fatalf("path of %d tops at %v, root %v", u, topLevel, root)
+		}
+		for l := range p {
+			for i, s := range p[l] {
+				if s.Level != l {
+					t.Fatalf("station level mismatch: %v at level %d", s, l)
+				}
+				if i > 0 && p[l][i-1].Key >= s.Key {
+					t.Fatalf("level %d stations not label-sorted", l)
+				}
+			}
+		}
+	}
+}
+
+func TestDPathCached(t *testing.T) {
+	g := graph.Path(8)
+	hs := build(t, g, Config{})
+	p1 := hs.DPath(2)
+	p2 := hs.DPath(2)
+	if &p1[0] != &p2[0] {
+		t.Fatal("DPath not cached")
+	}
+}
+
+func TestSigmaModes(t *testing.T) {
+	g := graph.Grid(6, 6)
+	if s := build(t, g, Config{SpecialParentOffset: 3}).SpecialOffset(); s != 3 {
+		t.Fatalf("explicit sigma %d", s)
+	}
+	if s := build(t, g, Config{SpecialParentOffset: -1}).SpecialOffset(); s != 0 {
+		t.Fatalf("disabled sigma %d", s)
+	}
+	if s := build(t, g, Config{}).SpecialOffset(); s < 2 {
+		t.Fatalf("derived sigma %d", s)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.New(1)
+	hs := build(t, g, Config{})
+	if hs.Height() != 1 {
+		// level 0 singleton, level 1 all-covering cluster of the one node
+		t.Fatalf("height %d", hs.Height())
+	}
+	if hs.Root().Host != 0 {
+		t.Fatalf("root %v", hs.Root())
+	}
+	if err := hs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := graph.Grid(5, 5)
+	hs := build(t, g, Config{})
+	st := hs.Stats()
+	if st.ClusterCounts[0] != 25 {
+		t.Fatalf("level-0 cluster count %d", st.ClusterCounts[0])
+	}
+	if st.ClusterCounts[st.Height] != 1 {
+		t.Fatalf("top cluster count %d", st.ClusterCounts[st.Height])
+	}
+}
+
+func BenchmarkBuildGrid16(b *testing.B) {
+	g := graph.Grid(16, 16)
+	m := graph.NewMetric(g)
+	m.Precompute(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, m, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

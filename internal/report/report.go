@@ -1,0 +1,100 @@
+// Package report renders experiment results as Markdown tables and CSV —
+// the formats EXPERIMENTS.md and external plotting tools consume.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// MarkdownCostRatio renders a cost-ratio sweep as a Markdown table of the
+// figure's series (per-operation mean ratios; the figures' metric).
+func MarkdownCostRatio(w io.Writer, res *experiments.CostRatioResult, query bool) error {
+	table := res.MaintenanceMean
+	if query {
+		table = res.QueryMean
+	}
+	var b strings.Builder
+	b.WriteString("| nodes |")
+	for _, a := range res.Algorithms {
+		fmt.Fprintf(&b, " %s |", a)
+	}
+	b.WriteString("\n|---|")
+	for range res.Algorithms {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for si, n := range res.Sizes {
+		fmt.Fprintf(&b, "| %d |", n)
+		for a := range res.Algorithms {
+			fmt.Fprintf(&b, " %.2f |", table[a][si])
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MarkdownLoad renders a load comparison as a Markdown table: headline
+// statistics of both algorithms.
+func MarkdownLoad(w io.Writer, res *experiments.LoadResult) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| algorithm | max load | nodes with load > 10 | mean load | loaded nodes |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+	fmt.Fprintf(&b, "| MOT (load-balanced) | %d | %d | %.2f | %d |\n",
+		res.MOT.Max, res.MOT.AboveTen, res.MOT.Mean, res.MOT.NonZero)
+	fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %d |\n",
+		res.Config.Baseline, res.Baseline.Max, res.Baseline.AboveTen, res.Baseline.Mean, res.Baseline.NonZero)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSVCostRatio writes the sweep as CSV with one row per (size, algorithm)
+// and all four ratio variants.
+func CSVCostRatio(w io.Writer, res *experiments.CostRatioResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"nodes", "algorithm", "maint_mean_ratio", "query_mean_ratio", "maint_agg_ratio", "query_agg_ratio"}); err != nil {
+		return err
+	}
+	for si, n := range res.Sizes {
+		for a, alg := range res.Algorithms {
+			rec := []string{
+				strconv.Itoa(n),
+				alg,
+				fmt.Sprintf("%.4f", res.MaintenanceMean[a][si]),
+				fmt.Sprintf("%.4f", res.QueryMean[a][si]),
+				fmt.Sprintf("%.4f", res.Maintenance[a][si]),
+				fmt.Sprintf("%.4f", res.Query[a][si]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVLoad writes both load histograms as CSV (bucket, mot, baseline).
+func CSVLoad(w io.Writer, res *experiments.LoadResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"load", "mot_nodes", strings.ToLower(res.Config.Baseline) + "_nodes"}); err != nil {
+		return err
+	}
+	for b := range res.MOT.Histogram {
+		if err := cw.Write([]string{
+			strconv.Itoa(b),
+			strconv.Itoa(res.MOT.Histogram[b]),
+			strconv.Itoa(res.Baseline.Histogram[b]),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func sampleCost() *experiments.CostRatioResult {
+	return &experiments.CostRatioResult{
+		Sizes:           []int{16, 64},
+		Algorithms:      []string{"MOT", "STUN"},
+		Maintenance:     [][]float64{{2, 3}, {5, 8}},
+		Query:           [][]float64{{1.5, 1.6}, {2.5, 2.6}},
+		MaintenanceMean: [][]float64{{2.1, 3.1}, {5.1, 8.1}},
+		QueryMean:       [][]float64{{1.7, 1.8}, {2.7, 2.8}},
+	}
+}
+
+func sampleLoad() *experiments.LoadResult {
+	return &experiments.LoadResult{
+		Config:   experiments.LoadConfig{Baseline: "STUN", HistogramMax: 3},
+		MOT:      stats.SummarizeLoad([]int{0, 1, 2, 2}, 3),
+		Baseline: stats.SummarizeLoad([]int{0, 0, 12, 1}, 3),
+	}
+}
+
+func TestMarkdownCostRatio(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownCostRatio(&buf, sampleCost(), false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"| nodes |", "| MOT |", "| 16 |", "2.10", "8.10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := MarkdownCostRatio(&buf, sampleCost(), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.70") {
+		t.Fatalf("query table missing query ratios:\n%s", buf.String())
+	}
+}
+
+func TestMarkdownLoad(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownLoad(&buf, sampleLoad()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MOT (load-balanced)") || !strings.Contains(out, "STUN") {
+		t.Fatalf("load table:\n%s", out)
+	}
+	if !strings.Contains(out, "| 12 | 1 |") {
+		t.Fatalf("baseline stats missing:\n%s", out)
+	}
+}
+
+func TestCSVCostRatioParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVCostRatio(&buf, sampleCost()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 sizes x 2 algorithms.
+	if len(recs) != 5 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "nodes" || len(recs[1]) != 6 {
+		t.Fatalf("header/record shape: %v", recs[0])
+	}
+	if recs[1][1] != "MOT" || recs[2][1] != "STUN" {
+		t.Fatalf("algorithm order: %v %v", recs[1], recs[2])
+	}
+}
+
+func TestCSVLoadParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVLoad(&buf, sampleLoad()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+4 { // header + buckets 0..3
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][2] != "stun_nodes" {
+		t.Fatalf("header: %v", recs[0])
+	}
+}

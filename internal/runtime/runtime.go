@@ -1,0 +1,337 @@
+// Package runtime is a live distributed realization of the MOT algorithm:
+// every sensor node runs as its own goroutine with a message inbox, and
+// publish / maintenance / query operations travel station to station
+// through the network (costs accounted as shortest-path distances), as the
+// message-passing protocol the paper describes (footnote 2 of §3: the
+// iterative pseudocode "can be immediately converted to a message-passing
+// based distributed algorithm").
+//
+// The runtime favors clarity over instrumentation — the measured
+// reproductions use the sequential engine (internal/core) and the
+// discrete-event simulator (internal/sim); this package demonstrates the
+// same protocol running on real concurrent nodes and backs the examples.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+type slotKey struct {
+	level int
+	key   int64
+}
+
+type slotState struct {
+	dl map[core.ObjectID]overlay.Station // downward pointer; Level<0 means proxy slot
+}
+
+// message is a mobile operation state traveling through the network.
+type message struct {
+	dest graph.NodeID // next node that must process it
+	op   *opState
+}
+
+type opKind int
+
+const (
+	opPublish opKind = iota
+	opInsertUp
+	opDeleteDown
+	opQueryUp
+	opQueryDown
+)
+
+type opState struct {
+	kind  opKind
+	o     core.ObjectID
+	path  overlay.Path
+	level int             // current level being processed
+	down  overlay.Station // target of the downward walk
+	cost  float64
+	reply chan result
+}
+
+type result struct {
+	proxy graph.NodeID
+	cost  float64
+	err   error
+}
+
+// Tracker runs the distributed MOT protocol over an overlay, one goroutine
+// per sensor node.
+type Tracker struct {
+	g  *graph.Graph
+	m  *graph.Metric
+	ov overlay.Overlay
+
+	inboxes []chan message
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// slots[n] is owned exclusively by node n's goroutine.
+	slots []map[slotKey]*slotState
+
+	locMu sync.Mutex
+	loc   map[core.ObjectID]graph.NodeID
+	objMu map[core.ObjectID]*sync.Mutex // per-object one-by-one serialization
+
+	costMu    sync.Mutex
+	totalCost float64
+}
+
+// New starts a tracker: one goroutine per sensor node of the overlay's
+// graph. Call Stop when done.
+func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
+	t := &Tracker{
+		g:       g,
+		m:       ov.Metric(),
+		ov:      ov,
+		inboxes: make([]chan message, g.N()),
+		quit:    make(chan struct{}),
+		slots:   make([]map[slotKey]*slotState, g.N()),
+		loc:     make(map[core.ObjectID]graph.NodeID),
+		objMu:   make(map[core.ObjectID]*sync.Mutex),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan message, 256)
+		t.slots[i] = make(map[slotKey]*slotState)
+	}
+	for i := 0; i < g.N(); i++ {
+		t.wg.Add(1)
+		go t.nodeLoop(graph.NodeID(i))
+	}
+	return t
+}
+
+// Stop shuts down all node goroutines. Pending operations are abandoned.
+func (t *Tracker) Stop() {
+	close(t.quit)
+	t.wg.Wait()
+}
+
+// Cost returns the total distance traveled by all messages so far.
+func (t *Tracker) Cost() float64 {
+	t.costMu.Lock()
+	defer t.costMu.Unlock()
+	return t.totalCost
+}
+
+// Location returns the current proxy of o.
+func (t *Tracker) Location(o core.ObjectID) (graph.NodeID, bool) {
+	t.locMu.Lock()
+	defer t.locMu.Unlock()
+	v, ok := t.loc[o]
+	return v, ok
+}
+
+func (t *Tracker) objLock(o core.ObjectID) *sync.Mutex {
+	t.locMu.Lock()
+	defer t.locMu.Unlock()
+	mu, ok := t.objMu[o]
+	if !ok {
+		mu = &sync.Mutex{}
+		t.objMu[o] = mu
+	}
+	return mu
+}
+
+// send routes a message from node `from` toward op processing at dest,
+// accounting the shortest-path distance (the cost model of §1.1).
+func (t *Tracker) send(from graph.NodeID, msg message) {
+	d := t.m.Dist(from, msg.dest)
+	t.costMu.Lock()
+	t.totalCost += d
+	t.costMu.Unlock()
+	msg.op.cost += d
+	t.deliver(msg)
+}
+
+// deliver forwards the message hop by hop to its destination inbox.
+func (t *Tracker) deliver(msg message) {
+	select {
+	case t.inboxes[msg.dest] <- msg:
+	case <-t.quit:
+	}
+}
+
+// nodeLoop is one sensor's event loop.
+func (t *Tracker) nodeLoop(id graph.NodeID) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.quit:
+			return
+		case msg := <-t.inboxes[id]:
+			t.handle(id, msg.op)
+		}
+	}
+}
+
+func (t *Tracker) slot(n graph.NodeID, st overlay.Station) *slotState {
+	k := slotKey{st.Level, st.Key}
+	s, ok := t.slots[n][k]
+	if !ok {
+		s = &slotState{dl: make(map[core.ObjectID]overlay.Station)}
+		t.slots[n][k] = s
+	}
+	return s
+}
+
+// proxyMark is the sentinel downward pointer of a bottom-level proxy slot.
+var proxyMark = overlay.Station{Level: -1}
+
+// handle processes an operation arriving at node n. The node owns its slot
+// state; all mutation happens here.
+func (t *Tracker) handle(n graph.NodeID, op *opState) {
+	switch op.kind {
+	case opPublish, opInsertUp:
+		st := op.path[op.level][0]
+		s := t.slot(n, st)
+		if op.kind == opInsertUp && op.level > 0 {
+			if old, ok := s.dl[op.o]; ok {
+				// Peak: repoint and start the delete downward.
+				s.dl[op.o] = op.path[op.level-1][0]
+				op.kind = opDeleteDown
+				op.down = old
+				t.send(n, message{dest: old.Host, op: op})
+				return
+			}
+		}
+		if op.level == 0 {
+			s.dl[op.o] = proxyMark
+		} else {
+			s.dl[op.o] = op.path[op.level-1][0]
+		}
+		if op.level+1 < len(op.path) {
+			op.level++
+			t.send(n, message{dest: op.path[op.level][0].Host, op: op})
+			return
+		}
+		op.reply <- result{proxy: n, cost: op.cost}
+	case opDeleteDown:
+		st := op.down
+		s := t.slot(n, st)
+		next, ok := s.dl[op.o]
+		if !ok {
+			op.reply <- result{err: fmt.Errorf("runtime: delete lost trail of object %d at %v", op.o, st)}
+			return
+		}
+		delete(s.dl, op.o)
+		if next == proxyMark {
+			op.reply <- result{proxy: n, cost: op.cost}
+			return
+		}
+		op.down = next
+		t.send(n, message{dest: next.Host, op: op})
+	case opQueryUp:
+		st := op.path[op.level][0]
+		s := t.slot(n, st)
+		if next, ok := s.dl[op.o]; ok {
+			if next == proxyMark {
+				op.reply <- result{proxy: n, cost: op.cost}
+				return
+			}
+			op.kind = opQueryDown
+			op.down = next
+			t.send(n, message{dest: next.Host, op: op})
+			return
+		}
+		if op.level+1 >= len(op.path) {
+			op.reply <- result{err: fmt.Errorf("runtime: query for object %d passed the root", op.o)}
+			return
+		}
+		op.level++
+		t.send(n, message{dest: op.path[op.level][0].Host, op: op})
+	case opQueryDown:
+		st := op.down
+		s := t.slot(n, st)
+		next, ok := s.dl[op.o]
+		if !ok {
+			op.reply <- result{err: fmt.Errorf("runtime: query lost trail of object %d at %v", op.o, st)}
+			return
+		}
+		if next == proxyMark {
+			op.reply <- result{proxy: n, cost: op.cost}
+			return
+		}
+		op.down = next
+		t.send(n, message{dest: next.Host, op: op})
+	}
+}
+
+// Publish introduces o at sensor node at and blocks until the detection
+// trail reaches the root.
+func (t *Tracker) Publish(o core.ObjectID, at graph.NodeID) error {
+	mu := t.objLock(o)
+	mu.Lock()
+	defer mu.Unlock()
+	t.locMu.Lock()
+	if _, ok := t.loc[o]; ok {
+		t.locMu.Unlock()
+		return fmt.Errorf("runtime: object %d already published", o)
+	}
+	t.loc[o] = at
+	t.locMu.Unlock()
+	op := &opState{kind: opPublish, o: o, path: t.ov.DPath(at), reply: make(chan result, 1)}
+	t.deliver(message{dest: at, op: op})
+	res := <-op.reply
+	return res.err
+}
+
+// Move reports that o moved to sensor node to; it blocks until the
+// maintenance operation (insert and delete) completes. Moves of the same
+// object serialize (the one-by-one discipline); different objects proceed
+// concurrently on the node goroutines.
+func (t *Tracker) Move(o core.ObjectID, to graph.NodeID) error {
+	mu := t.objLock(o)
+	mu.Lock()
+	defer mu.Unlock()
+	t.locMu.Lock()
+	from, ok := t.loc[o]
+	if !ok {
+		t.locMu.Unlock()
+		return fmt.Errorf("runtime: object %d not published", o)
+	}
+	if from == to {
+		t.locMu.Unlock()
+		return nil
+	}
+	t.loc[o] = to
+	t.locMu.Unlock()
+	op := &opState{kind: opInsertUp, o: o, path: t.ov.DPath(to), reply: make(chan result, 1)}
+	// The bottom-level stamp happens at the new proxy itself.
+	t.deliver(message{dest: to, op: op})
+	res := <-op.reply
+	if res.err != nil {
+		return res.err
+	}
+	if res.proxy != from {
+		return fmt.Errorf("runtime: delete for object %d ended at %d, expected old proxy %d", o, res.proxy, from)
+	}
+	return nil
+}
+
+// Query locates o from sensor node from, returning the proxy node and the
+// communication cost of the query's search walk.
+func (t *Tracker) Query(from graph.NodeID, o core.ObjectID) (graph.NodeID, float64, error) {
+	t.locMu.Lock()
+	_, ok := t.loc[o]
+	t.locMu.Unlock()
+	if !ok {
+		return graph.Undefined, 0, fmt.Errorf("runtime: object %d not published", o)
+	}
+	// Queries share the object's serialization lock so they never observe
+	// a half-updated trail (the runtime's one-by-one discipline).
+	mu := t.objLock(o)
+	mu.Lock()
+	defer mu.Unlock()
+	op := &opState{kind: opQueryUp, o: o, path: t.ov.DPath(from), reply: make(chan result, 1)}
+	t.deliver(message{dest: from, op: op})
+	res := <-op.reply
+	return res.proxy, res.cost, res.err
+}

@@ -1,0 +1,111 @@
+// Package sim provides a discrete-event simulation of concurrent MOT and
+// baseline executions (the paper's "concurrent case", §4.1.2 and §4.2.2).
+//
+// Time is measured in the paper's unit: the duration a message needs to
+// travel unit distance, so delivering a message between hosts u and v takes
+// dist(u, v) time. Maintenance operations for the same object may overlap
+// in flight; the simulator enforces the paper's two concurrency mechanisms:
+//
+//   - per-level periods Φ(i) = 2^i·φ gate when an operation may cross from
+//     level i to i+1 (§4.1.2), and
+//   - same-object maintenance operations are pipelined — operation v may not
+//     process level k before operation v-1 has finished processing level k —
+//     the ordering that the ID-ordered parent-set probing of §3.1 provides
+//     in the message-passing algorithm.
+//
+// Queries run fully concurrently with maintenance: a query that loses the
+// trail restarts its climb from where it stands, and one that reaches a
+// stale proxy waits for the delete message, which carries the new proxy
+// (§3, "In this way, queries can be successful even while a move is in
+// progress").
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled continuation.
+type event struct {
+	at  float64
+	seq int64 // FIFO tie-break for equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event executor.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	steps  int64
+	limit  int64
+}
+
+// NewEngine returns an engine with the given step limit (a safety net
+// against runaway simulations; <= 0 means a generous default).
+func NewEngine(limit int64) *Engine {
+	if limit <= 0 {
+		limit = 200_000_000
+	}
+	return &Engine{limit: limit}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (clamped to now for past times).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay time units from now.
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Run processes events until the queue drains. It returns an error if the
+// step limit is exceeded (which indicates a protocol livelock).
+func (e *Engine) Run() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.steps++
+		if e.steps > e.limit {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%v (livelock?)", e.limit, e.now)
+		}
+		ev.fn()
+	}
+	return nil
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() int64 { return e.steps }

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mobility"
+)
+
+// SteinerLowerBound computes the §4.1.2 lower bound for concurrent
+// maintenance: when a batch of maintenance operations for one object is in
+// flight simultaneously, any algorithm must pay at least (half) the weight
+// of a Steiner tree connecting the involved proxies. The workload's moves
+// are grouped per object into bursts of the given concurrency; each
+// burst's terminals are its source and destination proxies. The per-move
+// distance lower bound (what the meters use) can be loose under
+// concurrency; this bound is the batch-aware alternative the analysis
+// uses. The returned value uses the metric-closure MST 2-approximation, so
+// the true optimum lies within [result/2, result].
+func SteinerLowerBound(m *graph.Metric, w *mobility.Workload, concurrency int) float64 {
+	if concurrency <= 0 {
+		concurrency = 10
+	}
+	seqs := make([][]graph.NodeID, w.Objects)
+	for o, at := range w.Initial {
+		seqs[o] = append(seqs[o], at)
+	}
+	for _, mv := range w.Moves {
+		seqs[mv.Object] = append(seqs[mv.Object], mv.To)
+	}
+	total := 0.0
+	for _, seq := range seqs {
+		// seq = initial proxy followed by destinations; burst i covers
+		// positions [1+i*c, 1+(i+1)*c) with the preceding proxy as the
+		// burst's source terminal.
+		for start := 1; start < len(seq); start += concurrency {
+			end := start + concurrency
+			if end > len(seq) {
+				end = len(seq)
+			}
+			terminals := seq[start-1 : end]
+			total += graph.SteinerApprox(m, terminals)
+		}
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/mobility"
+)
+
+func TestSteinerLowerBoundProperties(t *testing.T) {
+	g := graph.Grid(8, 8)
+	m := graph.NewMetric(g)
+	w, err := mobility.Generate(g, m, mobility.Config{Objects: 5, MovesPerObject: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SteinerLowerBound(m, w, 10)
+	if lb <= 0 {
+		t.Fatal("zero lower bound for a non-trivial workload")
+	}
+	// The batch-aware bound never exceeds the per-move distance total
+	// (connecting every consecutive pair is one valid Steiner topology,
+	// and the MST over the closure is at most that chain).
+	perMove := 0.0
+	locs := append([]graph.NodeID(nil), w.Initial...)
+	for _, mv := range w.Moves {
+		perMove += m.Dist(locs[mv.Object], mv.To)
+		locs[mv.Object] = mv.To
+	}
+	if lb > perMove+1e-9 {
+		t.Fatalf("Steiner bound %v exceeds per-move total %v", lb, perMove)
+	}
+	// Concurrency 1 degenerates to exactly the per-move total.
+	if got := SteinerLowerBound(m, w, 1); got != perMove {
+		t.Fatalf("concurrency-1 bound %v, want per-move %v", got, perMove)
+	}
+}
+
+// The simulated concurrent MOT cost dominates the Steiner lower bound (it
+// must: the bound is what any algorithm pays).
+func TestSimulatedCostDominatesSteinerBound(t *testing.T) {
+	g := graph.Grid(8, 8)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 1, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mobility.Generate(g, m, mobility.Config{Objects: 5, MovesPerObject: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(0)
+	s, err := NewMOT(hs, eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Schedule(s, w, DriverConfig{Diameter: m.Diameter(), Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bound := SteinerLowerBound(m, w, 10)
+	if cost := s.Meter().MaintCost; cost < bound/2 {
+		t.Fatalf("simulated cost %v below Steiner bound %v", cost, bound/2)
+	}
+}

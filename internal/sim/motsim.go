@@ -1,0 +1,544 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// Config controls the concurrent MOT simulation.
+type Config struct {
+	// PhiBase is φ in the per-level period Φ(i) = 2^i·φ (§4.1.2); the
+	// theory uses 2^(3ρ+6), experiments a small constant. Default 4.
+	PhiBase float64
+	// PeriodSync gates level crossings at period boundaries; disabling it
+	// is an ablation (pipelining alone still guarantees consistency).
+	PeriodSync bool
+	// MaxRestarts bounds the number of times one query may restart its
+	// climb after losing a trail to a concurrent delete.
+	MaxRestarts int
+	// Redirects enables the paper's improved concurrent query handling
+	// (§3: "We can have improved algorithm to solve this problem without
+	// ever reaching the incorrect proxy node"): deletes leave short-lived
+	// forwarding pointers at the stations they erase, so a query that
+	// lost the trail jumps straight toward the new proxy instead of
+	// re-climbing or waiting at the stale bottom.
+	Redirects bool
+}
+
+func (c *Config) fill() {
+	if c.PhiBase <= 0 {
+		c.PhiBase = 4
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 10000
+	}
+}
+
+type slotKey struct {
+	level int
+	key   int64
+}
+
+type simEntry struct {
+	child overlay.Station // downward pointer; meaningless at level 0
+	ver   uint64
+	sp    overlay.Station
+	spOK  bool
+}
+
+type simSDL struct {
+	child overlay.Station
+	ver   uint64
+}
+
+type simSlot struct {
+	station overlay.Station
+	dl      map[core.ObjectID]simEntry
+	sdl     map[core.ObjectID]simSDL
+	// fwd holds forwarding tombstones left by deletes when Redirects is
+	// enabled: the destination of the move whose delete erased the entry.
+	fwd map[core.ObjectID]graph.NodeID
+}
+
+// QueryResult records one completed simulated query.
+type QueryResult struct {
+	Origin   graph.NodeID
+	Object   core.ObjectID
+	Found    graph.NodeID
+	Cost     float64
+	Optimal  float64
+	Restarts int
+	Waited   bool
+}
+
+// MOTSim simulates concurrent MOT executions over a single-parent overlay
+// (Algorithm 1's simple form; parent sets are a one-by-one refinement).
+type MOTSim struct {
+	eng *Engine
+	ov  overlay.Overlay
+	m   *graph.Metric
+	cfg Config
+
+	slots map[slotKey]*simSlot
+	loc   map[core.ObjectID]graph.NodeID
+	ver   map[core.ObjectID]uint64
+
+	// Same-object maintenance operations execute in issue order — the
+	// serialization the paper's period scheme Φ(i) enforces for
+	// closely-spaced operations (§4.1.2; see DESIGN.md). Operations for
+	// different objects, and all queries, interleave freely.
+	queue  map[core.ObjectID][]*moveOp
+	active map[core.ObjectID]bool
+
+	// waiters[slot][o] = queries parked at a stale bottom-level proxy,
+	// resumed by the delete message carrying the new proxy.
+	waiters map[slotKey]map[core.ObjectID][]func(newProxy graph.NodeID)
+
+	meter   core.CostMeter
+	results []QueryResult
+	errs    []error
+}
+
+// NewMOT builds a concurrent simulator over ov, which must produce
+// single-station detection-path levels (hier.Config.UseParentSets = false).
+func NewMOT(ov overlay.Overlay, eng *Engine, cfg Config) (*MOTSim, error) {
+	cfg.fill()
+	p := ov.DPath(ov.Root().Host)
+	for l, sts := range p {
+		if len(sts) != 1 {
+			return nil, fmt.Errorf("sim: overlay has %d stations at level %d; the concurrent simulator needs single-parent paths", len(sts), l)
+		}
+	}
+	return &MOTSim{
+		eng:     eng,
+		ov:      ov,
+		m:       ov.Metric(),
+		cfg:     cfg,
+		slots:   make(map[slotKey]*simSlot),
+		loc:     make(map[core.ObjectID]graph.NodeID),
+		ver:     make(map[core.ObjectID]uint64),
+		queue:   make(map[core.ObjectID][]*moveOp),
+		active:  make(map[core.ObjectID]bool),
+		waiters: make(map[slotKey]map[core.ObjectID][]func(graph.NodeID)),
+	}, nil
+}
+
+// Meter returns the accumulated cost counters.
+func (s *MOTSim) Meter() core.CostMeter { return s.meter }
+
+// Results returns the completed query records.
+func (s *MOTSim) Results() []QueryResult { return s.results }
+
+// Errors returns protocol errors observed during the run (always empty in a
+// correct execution).
+func (s *MOTSim) Errors() []error { return s.errs }
+
+// Location returns the ground-truth proxy of o.
+func (s *MOTSim) Location(o core.ObjectID) (graph.NodeID, bool) {
+	v, ok := s.loc[o]
+	return v, ok
+}
+
+func (s *MOTSim) slot(st overlay.Station) *simSlot {
+	k := slotKey{st.Level, st.Key}
+	sl, ok := s.slots[k]
+	if !ok {
+		sl = &simSlot{
+			station: st,
+			dl:      make(map[core.ObjectID]simEntry),
+			sdl:     make(map[core.ObjectID]simSDL),
+			fwd:     make(map[core.ObjectID]graph.NodeID),
+		}
+		s.slots[k] = sl
+	}
+	return sl
+}
+
+func (s *MOTSim) fail(format string, args ...interface{}) {
+	s.errs = append(s.errs, fmt.Errorf(format, args...))
+}
+
+// Publish stamps o's initial trail instantly (publish is the one-time
+// initialization, performed before the tracked execution starts).
+func (s *MOTSim) Publish(o core.ObjectID, at graph.NodeID) error {
+	if _, ok := s.loc[o]; ok {
+		return fmt.Errorf("sim: object %d already published", o)
+	}
+	path := s.ov.DPath(at)
+	cost := 0.0
+	prev := path[0][0]
+	for l := 0; l < len(path); l++ {
+		st := path[l][0]
+		cost += s.m.Dist(prev.Host, st.Host)
+		prev = st
+		s.stamp(path, l, o, 0)
+	}
+	s.loc[o] = at
+	s.ver[o] = 0
+	s.meter.PublishCost += cost
+	s.meter.PublishOps++
+	return nil
+}
+
+// stamp writes the entry for o at path[l] with the given version, handling
+// SDL registration and cost.
+func (s *MOTSim) stamp(path overlay.Path, l int, o core.ObjectID, ver uint64) {
+	st := path[l][0]
+	var child overlay.Station
+	if l > 0 {
+		child = path[l-1][0]
+	}
+	sp, spOK := overlay.SpecialParent(path, l, 0, s.ov.SpecialOffset())
+	sl := s.slot(st)
+	if old, ok := sl.dl[o]; ok && old.spOK {
+		s.removeSDL(old.sp, st, o)
+	}
+	sl.dl[o] = simEntry{child: child, ver: ver, sp: sp, spOK: spOK}
+	delete(sl.fwd, o)
+	if spOK {
+		s.slot(sp).sdl[o] = simSDL{child: st, ver: ver}
+		s.meter.SpecialCost += s.m.Dist(st.Host, sp.Host)
+	}
+}
+
+func (s *MOTSim) removeSDL(sp, child overlay.Station, o core.ObjectID) {
+	sl := s.slot(sp)
+	if se, ok := sl.sdl[o]; ok && se.child == child {
+		delete(sl.sdl, o)
+	}
+}
+
+// --- maintenance -----------------------------------------------------
+
+type moveOp struct {
+	o        core.ObjectID
+	ver      uint64
+	from, to graph.NodeID
+	path     overlay.Path
+	pos      graph.NodeID
+	cost     float64
+	optimal  float64
+}
+
+// IssueMove schedules a maintenance operation at time at. The object's
+// ground truth (its physical proxy) changes at the issue time; the
+// directory update is queued behind any still-running maintenance operation
+// of the same object and otherwise starts immediately.
+func (s *MOTSim) IssueMove(o core.ObjectID, to graph.NodeID, at float64) error {
+	if _, ok := s.loc[o]; !ok {
+		return fmt.Errorf("sim: object %d not published", o)
+	}
+	s.eng.At(at, func() {
+		from := s.loc[o]
+		if from == to {
+			return
+		}
+		s.loc[o] = to
+		s.ver[o]++
+		op := &moveOp{o: o, ver: s.ver[o], from: from, to: to, path: s.ov.DPath(to), pos: to,
+			optimal: s.m.Dist(from, to)}
+		s.queue[o] = append(s.queue[o], op)
+		s.pump(o)
+	})
+	return nil
+}
+
+// pump starts the next queued maintenance operation of o, if any and none
+// is running.
+func (s *MOTSim) pump(o core.ObjectID) {
+	if s.active[o] || len(s.queue[o]) == 0 {
+		return
+	}
+	op := s.queue[o][0]
+	s.queue[o] = s.queue[o][1:]
+	s.active[o] = true
+	s.stamp(op.path, 0, o, op.ver)
+	s.enterLevel(op, 1)
+}
+
+// enterLevel applies the period gate, then travels to the level-k station.
+func (s *MOTSim) enterLevel(op *moveOp, k int) {
+	if k >= len(op.path) {
+		s.fail("sim: move %d/%d passed the root", op.o, op.ver)
+		s.finishMove(op)
+		return
+	}
+	proceed := func() {
+		st := op.path[k][0]
+		d := s.m.Dist(op.pos, st.Host)
+		op.cost += d
+		s.eng.After(d, func() { s.arriveLevel(op, k) })
+	}
+	if s.cfg.PeriodSync {
+		phi := math.Pow(2, float64(k)) * s.cfg.PhiBase
+		boundary := math.Ceil(s.eng.Now()/phi) * phi
+		if boundary > s.eng.Now() {
+			s.eng.At(boundary, proceed)
+			return
+		}
+	}
+	proceed()
+}
+
+// arriveLevel processes the level-k station: either the peak (an older
+// entry exists — repoint and start the delete) or a fresh stamp and climb.
+func (s *MOTSim) arriveLevel(op *moveOp, k int) {
+	st := op.path[k][0]
+	op.pos = st.Host
+	sl := s.slot(st)
+	if e, ok := sl.dl[op.o]; ok {
+		if e.ver >= op.ver {
+			// Cannot happen under per-object serialization; defensive.
+			s.fail("sim: move %d/%d overtaken at level %d", op.o, op.ver, k)
+			s.finishMove(op)
+			return
+		}
+		// Peak: repoint to the new chain, then prune the old one.
+		s.stamp(op.path, k, op.o, op.ver)
+		s.deleteStep(op, e.child)
+		return
+	}
+	s.stamp(op.path, k, op.o, op.ver)
+	s.enterLevel(op, k+1)
+}
+
+// deleteStep travels to the next station of the old trail and erases it.
+func (s *MOTSim) deleteStep(op *moveOp, target overlay.Station) {
+	d := s.m.Dist(op.pos, target.Host)
+	op.cost += d
+	s.eng.After(d, func() {
+		op.pos = target.Host
+		sl := s.slot(target)
+		e, ok := sl.dl[op.o]
+		if !ok || e.ver >= op.ver {
+			// The entry was already replaced by a newer move; the newer
+			// chain owns everything below.
+			s.finishMove(op)
+			return
+		}
+		delete(sl.dl, op.o)
+		if s.cfg.Redirects {
+			sl.fwd[op.o] = op.to
+		}
+		if e.spOK {
+			s.removeSDL(e.sp, target, op.o)
+			s.meter.SpecialCost += s.m.Dist(target.Host, e.sp.Host)
+		}
+		if target.Level == 0 {
+			s.resolveWaiters(target, op.o, op.to)
+			s.finishMove(op)
+			return
+		}
+		s.deleteStep(op, e.child)
+	})
+}
+
+func (s *MOTSim) finishMove(op *moveOp) {
+	s.meter.AddMaintSample(op.cost, op.optimal)
+	s.active[op.o] = false
+	s.pump(op.o)
+}
+
+func (s *MOTSim) resolveWaiters(st overlay.Station, o core.ObjectID, newProxy graph.NodeID) {
+	k := slotKey{st.Level, st.Key}
+	if byObj, ok := s.waiters[k]; ok {
+		ws := byObj[o]
+		delete(byObj, o)
+		for _, w := range ws {
+			w(newProxy)
+		}
+	}
+}
+
+// --- queries ----------------------------------------------------------
+
+type queryOp struct {
+	origin   graph.NodeID
+	o        core.ObjectID
+	pos      graph.NodeID
+	cost     float64
+	optimal  float64
+	restarts int
+	waited   bool
+	lastSlot *simSlot // slot where the trail last broke (for redirects)
+}
+
+// IssueQuery schedules a query from origin for o at time at.
+func (s *MOTSim) IssueQuery(origin graph.NodeID, o core.ObjectID, at float64) error {
+	if _, ok := s.loc[o]; !ok {
+		return fmt.Errorf("sim: object %d not published", o)
+	}
+	s.eng.At(at, func() {
+		q := &queryOp{origin: origin, o: o, pos: origin}
+		q.optimal = s.m.Dist(origin, s.loc[o])
+		s.climb(q, s.ov.DPath(origin), 0)
+	})
+	return nil
+}
+
+// climb travels up the requester's detection path looking for the object in
+// DLs and SDLs (Algorithm 1 lines 19–24).
+func (s *MOTSim) climb(q *queryOp, path overlay.Path, k int) {
+	if k >= len(path) {
+		s.fail("sim: query for %d from %d passed the root", q.o, q.origin)
+		return
+	}
+	st := path[k][0]
+	d := s.m.Dist(q.pos, st.Host)
+	q.cost += d
+	s.eng.After(d, func() {
+		q.pos = st.Host
+		sl := s.slot(st)
+		if _, ok := sl.dl[q.o]; ok {
+			s.descend(q, st)
+			return
+		}
+		if se, ok := sl.sdl[q.o]; ok {
+			s.hopTo(q, se.child)
+			return
+		}
+		s.climb(q, path, k+1)
+	})
+}
+
+// hopTo travels to a station believed to hold the object and descends.
+func (s *MOTSim) hopTo(q *queryOp, st overlay.Station) {
+	d := s.m.Dist(q.pos, st.Host)
+	q.cost += d
+	s.eng.After(d, func() {
+		q.pos = st.Host
+		if sl := s.slot(st); true {
+			if _, ok := sl.dl[q.o]; !ok {
+				q.lastSlot = sl
+				s.restart(q)
+				return
+			}
+		}
+		s.descend(q, st)
+	})
+}
+
+// descend follows downward pointers; q.pos is already at st's host and st
+// is known to hold the object.
+func (s *MOTSim) descend(q *queryOp, st overlay.Station) {
+	sl := s.slot(st)
+	e, ok := sl.dl[q.o]
+	if !ok {
+		q.lastSlot = sl
+		s.restart(q)
+		return
+	}
+	if st.Level == 0 {
+		if s.loc[q.o] == st.Host {
+			s.complete(q, st.Host)
+			return
+		}
+		// Stale proxy: the object moved and the delete has not arrived
+		// yet. Wait for it; it carries the new proxy.
+		q.waited = true
+		k := slotKey{st.Level, st.Key}
+		if s.waiters[k] == nil {
+			s.waiters[k] = make(map[core.ObjectID][]func(graph.NodeID))
+		}
+		s.waiters[k][q.o] = append(s.waiters[k][q.o], func(newProxy graph.NodeID) {
+			s.chase(q, newProxy)
+		})
+		return
+	}
+	next := e.child
+	d := s.m.Dist(q.pos, next.Host)
+	q.cost += d
+	s.eng.After(d, func() {
+		q.pos = next.Host
+		s.descend(q, next)
+	})
+}
+
+// chase forwards a resumed query to the proxy named by a delete message or
+// forwarding tombstone. If the object has moved on again by arrival, the
+// query re-anchors at this proxy's bottom-level slot — whose own tombstone
+// (if the next delete already passed) chains the chase forward.
+func (s *MOTSim) chase(q *queryOp, proxy graph.NodeID) {
+	d := s.m.Dist(q.pos, proxy)
+	q.cost += d
+	s.eng.After(d, func() {
+		q.pos = proxy
+		if s.loc[q.o] == proxy {
+			s.complete(q, proxy)
+			return
+		}
+		q.lastSlot = s.slots[slotKey{0, int64(proxy)}]
+		s.restart(q)
+	})
+}
+
+// restart re-climbs from the query's current position after a lost trail,
+// or — with Redirects — follows the forwarding tombstone the delete left
+// behind, heading straight for the mover's destination.
+func (s *MOTSim) restart(q *queryOp) {
+	q.restarts++
+	if q.restarts > s.cfg.MaxRestarts {
+		s.fail("sim: query for %d from %d exceeded %d restarts", q.o, q.origin, s.cfg.MaxRestarts)
+		return
+	}
+	// Tombstones live at the station where the trail broke; consume the
+	// anchor so a failed chase cannot re-follow the same stale pointer.
+	if s.cfg.Redirects && q.lastSlot != nil {
+		last := q.lastSlot
+		q.lastSlot = nil
+		if to, ok := last.fwd[q.o]; ok && to != q.pos {
+			s.chase(q, to)
+			return
+		}
+	}
+	s.climb(q, s.ov.DPath(q.pos), 0)
+}
+
+func (s *MOTSim) complete(q *queryOp, found graph.NodeID) {
+	s.results = append(s.results, QueryResult{
+		Origin: q.origin, Object: q.o, Found: found,
+		Cost: q.cost, Optimal: q.optimal, Restarts: q.restarts, Waited: q.waited,
+	})
+	s.meter.AddQuerySample(q.cost, q.optimal)
+}
+
+// CheckInvariants validates quiescent-state consistency: every object's
+// trail runs root → proxy with strictly usable pointers and no orphans.
+// Call only after Engine.Run has drained all events.
+func (s *MOTSim) CheckInvariants() error {
+	if s.eng.Pending() > 0 {
+		return fmt.Errorf("sim: invariants checked before quiescence (%d events pending)", s.eng.Pending())
+	}
+	for _, err := range s.errs {
+		return fmt.Errorf("sim: protocol error during run: %w", err)
+	}
+	for o, proxy := range s.loc {
+		st := s.ov.Root()
+		onTrail := map[slotKey]bool{}
+		for {
+			sl := s.slot(st)
+			e, ok := sl.dl[o]
+			if !ok {
+				return fmt.Errorf("sim: trail for %d broken at %v", o, st)
+			}
+			onTrail[slotKey{st.Level, st.Key}] = true
+			if st.Level == 0 {
+				if st.Host != proxy {
+					return fmt.Errorf("sim: trail for %d ends at %d, proxy %d", o, st.Host, proxy)
+				}
+				break
+			}
+			st = e.child
+		}
+		for k, sl := range s.slots {
+			if _, has := sl.dl[o]; has && !onTrail[k] {
+				return fmt.Errorf("sim: orphaned entry for %d at %v", o, sl.station)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package stats provides the summary statistics and load-distribution
+// helpers the experiment harnesses use to report the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P50, P95, Max float64
+}
+
+// Summarize computes a Summary; the zero Summary is returned for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	if len(sorted) > 1 {
+		ss := 0.0
+		for _, x := range sorted {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending-sorted
+// sample using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LoadStats summarizes an integer per-node load vector, mirroring the
+// load/node comparisons of Figs. 8–11 ("k nodes with load > 10").
+type LoadStats struct {
+	Nodes     int
+	Total     int
+	Max       int
+	Mean      float64
+	NonZero   int
+	AboveTen  int // nodes with load > 10, the paper's headline statistic
+	Histogram []int
+}
+
+// SummarizeLoad computes LoadStats over a per-node load vector. The
+// histogram buckets by load value 0,1,2,...,maxBucket with the final bucket
+// absorbing everything larger.
+func SummarizeLoad(load []int, maxBucket int) LoadStats {
+	if maxBucket < 1 {
+		maxBucket = 1
+	}
+	ls := LoadStats{Nodes: len(load), Histogram: make([]int, maxBucket+1)}
+	for _, c := range load {
+		ls.Total += c
+		if c > ls.Max {
+			ls.Max = c
+		}
+		if c > 0 {
+			ls.NonZero++
+		}
+		if c > 10 {
+			ls.AboveTen++
+		}
+		b := c
+		if b > maxBucket {
+			b = maxBucket
+		}
+		ls.Histogram[b]++
+	}
+	if len(load) > 0 {
+		ls.Mean = float64(ls.Total) / float64(len(load))
+	}
+	return ls
+}
+
+// CountAbove returns how many entries exceed the threshold.
+func CountAbove(load []int, threshold int) int {
+	c := 0
+	for _, x := range load {
+		if x > threshold {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxInt returns the maximum entry (0 for an empty slice).
+func MaxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Row renders a fixed set of float columns for the tabular experiment
+// output, e.g. Row("mot", 1.23, 4.56) -> "mot\t1.230\t4.560".
+func Row(label string, cols ...float64) string {
+	parts := []string{label}
+	for _, c := range cols {
+		parts = append(parts, fmt.Sprintf("%.3f", c))
+	}
+	return strings.Join(parts, "\t")
+}

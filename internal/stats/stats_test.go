@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("std %v", s.Std)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestSummarizeLoad(t *testing.T) {
+	load := []int{0, 0, 1, 5, 11, 25}
+	ls := SummarizeLoad(load, 10)
+	if ls.Nodes != 6 || ls.Total != 42 || ls.Max != 25 {
+		t.Fatalf("%+v", ls)
+	}
+	if ls.NonZero != 4 || ls.AboveTen != 2 {
+		t.Fatalf("%+v", ls)
+	}
+	if len(ls.Histogram) != 11 {
+		t.Fatalf("histogram len %d", len(ls.Histogram))
+	}
+	if ls.Histogram[0] != 2 || ls.Histogram[1] != 1 || ls.Histogram[5] != 1 || ls.Histogram[10] != 2 {
+		t.Fatalf("histogram %v", ls.Histogram)
+	}
+	if math.Abs(ls.Mean-7) > 1e-9 {
+		t.Fatalf("mean %v", ls.Mean)
+	}
+}
+
+func TestCountAboveAndMaxInt(t *testing.T) {
+	xs := []int{1, 11, 12, 3}
+	if CountAbove(xs, 10) != 2 {
+		t.Fatal("CountAbove")
+	}
+	if MaxInt(xs) != 12 {
+		t.Fatal("MaxInt")
+	}
+	if MaxInt(nil) != 0 {
+		t.Fatal("MaxInt empty")
+	}
+}
+
+func TestRow(t *testing.T) {
+	if got := Row("mot", 1.0, 2.5); got != "mot\t1.000\t2.500" {
+		t.Fatalf("Row = %q", got)
+	}
+}
+
+// Property: Min <= P50 <= P95 <= Max and Mean within [Min, Max].
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep magnitudes bounded so the mean cannot overflow.
+				clean = append(clean, math.Mod(x, 1e6))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package mot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any random workload on any tracker configuration, every
+// query answers with the true proxy, directory invariants hold, and all
+// measured maintenance ratios are >= 1.
+func TestQuickTrackerAlwaysCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, wIdx, hIdx, optIdx uint8) bool {
+		w := 4 + int(wIdx)%6
+		h := 4 + int(hIdx)%6
+		g := Grid(w, h)
+		opts := []Options{
+			{Seed: seed, SpecialParentOffset: 2},
+			{Seed: seed, SpecialParentOffset: 2, UseParentSets: true},
+			{Seed: seed, SpecialParentOffset: 2, LoadBalance: true},
+			{GeneralOverlay: true, SpecialParentOffset: 2},
+			{Seed: seed, SpecialParentOffset: -1},
+		}
+		tr, err := NewTracker(g, opts[int(optIdx)%len(opts)])
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const objs = 5
+		locs := make([]NodeID, objs)
+		for o := range locs {
+			locs[o] = NodeID(rng.Intn(g.N()))
+			if err := tr.Publish(ObjectID(o), locs[o]); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < 80; i++ {
+			o := rng.Intn(objs)
+			nbrs := g.NeighborIDs(locs[o])
+			locs[o] = nbrs[rng.Intn(len(nbrs))]
+			if err := tr.Move(ObjectID(o), locs[o]); err != nil {
+				return false
+			}
+		}
+		for o := range locs {
+			got, cost, err := tr.Query(NodeID(rng.Intn(g.N())), ObjectID(o))
+			if err != nil || got != locs[o] || cost < 0 {
+				return false
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		m := tr.Meter()
+		return m.MaintRatio() >= 1 && m.MaintMeanRatio() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent simulations settle into a consistent directory for
+// any workload, with every query completed, under both period-gate modes.
+func TestQuickConcurrentAlwaysSettles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, sizeIdx uint8, period bool) bool {
+		sz := 5 + int(sizeIdx)%4
+		g := Grid(sz, sz)
+		m := NewMetric(g)
+		w, err := GenerateWorkload(g, m, WorkloadConfig{
+			Objects: 4, MovesPerObject: 25, Queries: 20, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := RunConcurrent(g, w, ConcurrentOptions{Seed: seed, PeriodSync: period})
+		if err != nil {
+			return false
+		}
+		return len(res.Queries) == len(w.Queries) && res.Meter.MaintRatio() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The theoretical special-parent offset (sigma = 3*rho+6) on a deep
+// hierarchy: path graphs have rho ~= 1, so sigma lands inside the
+// hierarchy and SDL shortcuts actually register.
+func TestTheoreticalSigmaOnPathGraph(t *testing.T) {
+	// D = 699 gives h ~= 11, comfortably above the derived sigma (~9).
+	g := NewGraph(700)
+	for i := 0; i < 699; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	tr, err := NewTracker(g, Options{Seed: 3}) // sigma derived from rho
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Publish(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for to := NodeID(1); to <= 30; to++ {
+		if err := tr.Move(1, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := tr.Query(699, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("query said %d", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// With a deep hierarchy the derived sigma registers SDL entries.
+	if tr.Meter().SpecialCost <= 0 {
+		t.Fatal("no SDL registrations with the theoretical sigma on a deep hierarchy")
+	}
+}

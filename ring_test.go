@@ -1,0 +1,156 @@
+package mot
+
+import (
+	"testing"
+)
+
+// The paper's §1.3 motivation for hierarchies over spanning trees: "cost
+// ratios for maintenance and query operations can be as large as O(D) in
+// those approaches, e.g. in ring networks". An object shuttling across the
+// tree's cut edge forces the tree directory to traverse the whole ring
+// every move, while MOT's hierarchy pays a bounded ratio.
+func TestRingSeparationFromSpanningTrees(t *testing.T) {
+	const n = 64
+	g := Ring(n)
+	m := NewMetric(g)
+
+	tr, err := NewTrackerWithMetric(g, m, Options{Seed: 1, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z-DAT's sink sits at the metric center; on a ring every node is a
+	// center, and the spanning tree cuts the cycle somewhere. Build it
+	// with an explicit sink so the cut is known: the deviation-avoidance
+	// tree rooted at 0 cuts between n/2 and n/2+1.
+	zd, err := NewZDAT(g, m, nil, ZDATOptions{Sink: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shuttle across the cut: nodes n/2 and n/2+1 are adjacent in the
+	// ring (distance 1) but on opposite branches of the tree.
+	a, b := NodeID(n/2), NodeID(n/2+1)
+	if err := tr.Publish(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := zd.Publish(1, a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		to := b
+		if i%2 == 1 {
+			to = a
+		}
+		if err := tr.Move(1, to); err != nil {
+			t.Fatal(err)
+		}
+		if err := zd.Move(1, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	motRatio := tr.Meter().MaintMeanRatio()
+	treeRatio := zd.Meter().MaintMeanRatio()
+	// The tree pays ~2*depth(a)+... per unit move — Θ(n); MOT pays the
+	// hierarchy's O(log n) factor.
+	if treeRatio < float64(n)/2 {
+		t.Fatalf("tree ratio %.1f unexpectedly small; the cut-shuttle should cost Θ(n)", treeRatio)
+	}
+	if motRatio > treeRatio/2 {
+		t.Fatalf("MOT ratio %.1f not clearly below tree ratio %.1f on the ring", motRatio, treeRatio)
+	}
+	// Queries across the cut from a nearby node.
+	qFrom := NodeID(n/2 + 2)
+	_, motCost, err := tr.Query(qFrom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, treeCost, err := zd.Query(qFrom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if motCost >= treeCost {
+		t.Fatalf("MOT query cost %.1f not below tree query cost %.1f across the cut", motCost, treeCost)
+	}
+}
+
+// Weighted networks flow through the whole stack: normalization, overlay
+// construction, tracking, and ratio accounting.
+func TestWeightedRingEndToEnd(t *testing.T) {
+	g := NewGraph(12)
+	for i := 0; i < 11; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), float64(1+i%3))
+	}
+	g.MustAddEdge(11, 0, 7)
+	g.Normalize()
+	tr, err := NewTracker(g, Options{Seed: 4, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Publish(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, to := range []NodeID{1, 2, 3, 4, 5, 6, 5, 4} {
+		if err := tr.Move(1, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, cost, err := tr.Query(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("query said %d", got)
+	}
+	if cost < tr.Metric().Dist(9, 4) {
+		t.Fatal("cost below optimal")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if r := tr.Meter().MaintRatio(); r < 1 {
+		t.Fatalf("maintenance ratio %v", r)
+	}
+}
+
+// Locality sweep shape (recorded in EXPERIMENTS.md): as queries localize,
+// STUN's sink-trip ratio grows much faster than MOT's.
+func TestQueryLocalityFavorsDistanceSensitivity(t *testing.T) {
+	g := Grid(16, 16)
+	m := NewMetric(g)
+	run := func(radius float64) (motRatio, stunRatio float64) {
+		w, err := GenerateWorkload(g, m, WorkloadConfig{
+			Objects: 20, MovesPerObject: 40, Queries: 150, Seed: 5, QueryRadius: radius,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewTrackerWithMetric(g, m, Options{Seed: 5, SpecialParentOffset: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewSTUN(g, m, DetectionRates(w, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := Replay(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := Replay(st, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mm.QueryMeanRatio(), sm.QueryMeanRatio()
+	}
+	mu, su := run(0) // uniform
+	ml, sl := run(2) // local
+	if sl <= su {
+		t.Fatalf("STUN ratio did not grow under locality: %v -> %v", su, sl)
+	}
+	if sl/su <= ml/mu {
+		t.Fatalf("locality hurt MOT (%vx) at least as much as STUN (%vx)", ml/mu, sl/su)
+	}
+	if ml >= sl {
+		t.Fatalf("local queries: MOT %v not below STUN %v", ml, sl)
+	}
+}
