@@ -1,0 +1,35 @@
+# Tier-1 verification for the MOT reproduction.
+#
+#   make check   — vet, build, full test suite, then the -race smoke tier
+#   make race    — just the -race smoke tier (parallel sweep harness,
+#                  seed-stream splits, goroutine tracker)
+#   make bench   — the per-figure benchmarks plus the sweep-worker timing
+#
+# The -race tier is intentionally short: it runs only the tests that
+# exercise real concurrency (TestRace*, TestParallel*, TestGolden*,
+# TestStream*, TestConcurrent*) in the packages that own it, so the whole
+# check stays CI-friendly.
+
+GO ?= go
+
+RACE_PKGS = ./internal/experiments ./internal/runtime ./internal/mobility
+RACE_RUN  = 'TestRace|TestParallel|TestGolden|TestStream|TestConcurrent'
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run $(RACE_RUN) -timeout 5m $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

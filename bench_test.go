@@ -12,6 +12,8 @@ package mot
 // surcharge, and the concurrent period gate.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -19,6 +21,37 @@ import (
 
 // benchSizes keeps figure benches fast while spanning a 25x size range.
 var benchSizes = []int{16, 100, 400}
+
+// BenchmarkSweepWorkers times a Fig-4-style sweep at several worker-pool
+// sizes. The harness guarantees byte-identical results for every pool
+// size, so the only difference between sub-benchmarks is wall-clock; the
+// parallel/sequential ratio is the harness's speedup on this machine.
+func BenchmarkSweepWorkers(b *testing.B) {
+	pools := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		pools = append(pools, p)
+	} else {
+		pools = append(pools, 4) // degenerate single-CPU box: show the overhead is negligible
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.CostRatioConfig{
+				Sizes:          benchSizes,
+				Objects:        20,
+				MovesPerObject: 60,
+				Queries:        60,
+				Seeds:          2,
+				LoadBalance:    true,
+				Workers:        workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunCostRatio(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func benchCostFigure(b *testing.B, objects int, concurrent, query bool) {
 	b.Helper()
@@ -30,6 +63,7 @@ func benchCostFigure(b *testing.B, objects int, concurrent, query bool) {
 		Seeds:          1,
 		Concurrent:     concurrent,
 		LoadBalance:    true,
+		Workers:        runtime.GOMAXPROCS(0),
 	}
 	var res *experiments.CostRatioResult
 	for i := 0; i < b.N; i++ {

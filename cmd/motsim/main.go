@@ -7,10 +7,16 @@
 //
 //	motsim -fig 4              # one figure at full (paper) scale
 //	motsim -fig all -scale 0.1 # all figures, workload scaled to 10%
+//	motsim -fig 5 -workers 8   # sweep cells on 8 goroutines
 //
 // Scale 1 reproduces the paper's exact setting (grids of 10–1024 nodes,
 // 100/1000 objects, 1000 maintenance operations per object, 5 seeds) and
 // takes a long while; small scales finish in seconds to minutes.
+//
+// -workers sizes the sweep worker pool (default: one per CPU). Each
+// (size, seed) cell derives its PRNG from an independent
+// (baseSeed, size, seedIndex) stream, so the printed figures are
+// byte-identical for every worker count.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure number (4..15) or 'all'")
 	scale := flag.Float64("scale", 0.1, "workload scale in (0,1]; 1 = the paper's full setting")
 	format := flag.String("format", "text", "output format: text, md, or csv")
+	workers := flag.Int("workers", 0, "sweep worker pool size; 0 = one per CPU (output is identical for any value)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	flag.Parse()
 
@@ -57,7 +64,7 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		f := figs[id]
+		f := figs[id].WithWorkers(*workers)
 		var err error
 		switch *format {
 		case "text":

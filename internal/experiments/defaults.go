@@ -1,0 +1,41 @@
+package experiments
+
+import "runtime"
+
+// The paper's evaluation parameters (§8). Every harness config defaults
+// its zero values to these in one place, so the figure harnesses, the
+// benchmarks, and cmd/motsim cannot drift apart.
+const (
+	// DefaultObjects is m, the number of tracked objects (Figs. 4, 6, 8–11).
+	DefaultObjects = 100
+	// DefaultMovesPerObject is the maintenance operations per object.
+	DefaultMovesPerObject = 1000
+	// DefaultSeeds is the number of independent repetitions averaged.
+	DefaultSeeds = 5
+	// DefaultConcurrency is the per-object burst size in concurrent mode.
+	DefaultConcurrency = 10
+	// DefaultZoneDepth is Z-DAT's quadrant depth.
+	DefaultZoneDepth = 2
+	// DefaultLoadNodes is the network size of the load comparisons.
+	DefaultLoadNodes = 1024
+	// DefaultHistogramMax is the largest per-node load bucket reported.
+	DefaultHistogramMax = 20
+)
+
+// DefaultSizes are the paper's grid sweep sizes (10–1024 sensors).
+var DefaultSizes = []int{10, 16, 36, 64, 121, 256, 529, 1024}
+
+// fillInt replaces a non-positive config value with its default.
+func fillInt(v *int, def int) {
+	if *v <= 0 {
+		*v = def
+	}
+}
+
+// fillWorkers resolves a worker-pool size: non-positive means "one worker
+// per available CPU" (runtime.GOMAXPROCS).
+func fillWorkers(v *int) {
+	if *v <= 0 {
+		*v = runtime.GOMAXPROCS(0)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// Zero-value configs must fill to the paper's §8 parameters — the single
+// source of truth in defaults.go.
+func TestZeroCostRatioConfigFillsToPaper(t *testing.T) {
+	var c CostRatioConfig
+	c.fill()
+	if !reflect.DeepEqual(c.Sizes, []int{10, 16, 36, 64, 121, 256, 529, 1024}) {
+		t.Errorf("sizes %v", c.Sizes)
+	}
+	if c.Objects != 100 {
+		t.Errorf("objects %d, want m=100", c.Objects)
+	}
+	if c.MovesPerObject != 1000 {
+		t.Errorf("moves/object %d, want 1000", c.MovesPerObject)
+	}
+	if c.Queries != c.Objects {
+		t.Errorf("queries %d, want one per object (%d)", c.Queries, c.Objects)
+	}
+	if c.Seeds != 5 {
+		t.Errorf("seeds %d, want 5", c.Seeds)
+	}
+	if c.Concurrency != 10 {
+		t.Errorf("concurrency %d, want 10", c.Concurrency)
+	}
+	if c.ZoneDepth != 2 {
+		t.Errorf("zone depth %d, want 2", c.ZoneDepth)
+	}
+	if c.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers %d, want GOMAXPROCS=%d", c.Workers, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestZeroLoadConfigFillsToPaper(t *testing.T) {
+	var c LoadConfig
+	c.fill()
+	if c.Nodes != 1024 {
+		t.Errorf("nodes %d, want 1024", c.Nodes)
+	}
+	if c.Objects != 100 {
+		t.Errorf("objects %d, want m=100", c.Objects)
+	}
+	if c.Baseline != AlgSTUN {
+		t.Errorf("baseline %q", c.Baseline)
+	}
+	if c.HistogramMax != 20 {
+		t.Errorf("histogram max %d, want 20", c.HistogramMax)
+	}
+	if c.ZoneDepth != 2 {
+		t.Errorf("zone depth %d, want 2", c.ZoneDepth)
+	}
+	if c.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers %d, want GOMAXPROCS=%d", c.Workers, runtime.GOMAXPROCS(0))
+	}
+}
+
+// Explicit values must survive fill untouched.
+func TestFillKeepsExplicitValues(t *testing.T) {
+	c := CostRatioConfig{Sizes: []int{16}, Objects: 7, MovesPerObject: 3,
+		Queries: 9, Seeds: 2, Concurrency: 4, ZoneDepth: 1, Workers: 3}
+	c.fill()
+	want := CostRatioConfig{Sizes: []int{16}, Objects: 7, MovesPerObject: 3,
+		Queries: 9, Seeds: 2, Concurrency: 4, ZoneDepth: 1, Workers: 3}
+	if !reflect.DeepEqual(c, want) {
+		t.Errorf("fill changed explicit values: %+v", c)
+	}
+}

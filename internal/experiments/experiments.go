@@ -11,6 +11,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -44,6 +46,11 @@ type CostRatioConfig struct {
 	// Queries is the number of query operations issued after (one-by-one)
 	// or during (concurrent) the maintenance workload.
 	Queries int
+	// QueryRadius localizes queries: each requester is sampled within
+	// this distance of the queried object's final position (0 = uniform
+	// over all sensors, the paper's setting). Local queries are the
+	// regime where distance-sensitive tracking shines.
+	QueryRadius float64
 	// Seeds is the number of independent repetitions averaged (5).
 	Seeds int
 	// Concurrent selects the discrete-event concurrent execution
@@ -61,30 +68,28 @@ type CostRatioConfig struct {
 	UseParentSets bool
 	// ZoneDepth is Z-DAT's quadrant depth.
 	ZoneDepth int
+	// BaseSeed salts every cell's PRNG stream: cell (size, seedIndex)
+	// runs on mobility.StreamSeed(BaseSeed, size, seedIndex). Zero is a
+	// valid base (the default sweep).
+	BaseSeed int64
+	// Workers bounds the worker pool running sweep cells concurrently.
+	// Zero or negative means one worker per CPU (runtime.GOMAXPROCS).
+	// Any value yields byte-identical results: cells share nothing and
+	// are merged in (size, seedIndex) order regardless of scheduling.
+	Workers int
 }
 
 func (c *CostRatioConfig) fill() {
 	if len(c.Sizes) == 0 {
-		c.Sizes = []int{10, 16, 36, 64, 121, 256, 529, 1024}
+		c.Sizes = append([]int(nil), DefaultSizes...)
 	}
-	if c.Objects <= 0 {
-		c.Objects = 100
-	}
-	if c.MovesPerObject <= 0 {
-		c.MovesPerObject = 1000
-	}
-	if c.Queries <= 0 {
-		c.Queries = c.Objects
-	}
-	if c.Seeds <= 0 {
-		c.Seeds = 5
-	}
-	if c.Concurrency <= 0 {
-		c.Concurrency = 10
-	}
-	if c.ZoneDepth <= 0 {
-		c.ZoneDepth = 2
-	}
+	fillInt(&c.Objects, DefaultObjects)
+	fillInt(&c.MovesPerObject, DefaultMovesPerObject)
+	fillInt(&c.Queries, c.Objects)
+	fillInt(&c.Seeds, DefaultSeeds)
+	fillInt(&c.Concurrency, DefaultConcurrency)
+	fillInt(&c.ZoneDepth, DefaultZoneDepth)
+	fillWorkers(&c.Workers)
 }
 
 // CostRatioResult holds cost ratios per algorithm per network size.
@@ -101,9 +106,20 @@ type CostRatioResult struct {
 	QueryMean       [][]float64
 }
 
+// sweepCell is one independent unit of a cost-ratio sweep: a (size,
+// seedIndex) pair. Cells share nothing — each builds its own grid,
+// metric, workload, and directories from its own seed stream — so they
+// can run on any worker in any order.
+type sweepCell struct {
+	si      int // index into cfg.Sizes
+	seedIdx int
+}
+
 // RunCostRatio executes the sweep and returns mean maintenance and query
 // cost ratios — the data behind Figs. 4–7 (one-by-one) and 12–15
-// (concurrent).
+// (concurrent). Cells run on cfg.Workers goroutines; the per-cell meters
+// are merged in (size, seedIndex) order afterwards, so the result is
+// byte-identical for every worker count.
 func RunCostRatio(cfg CostRatioConfig) (*CostRatioResult, error) {
 	cfg.fill()
 	res := &CostRatioResult{Sizes: cfg.Sizes, Algorithms: Algorithms}
@@ -117,25 +133,83 @@ func RunCostRatio(cfg CostRatioConfig) (*CostRatioResult, error) {
 		res.MaintenanceMean[a] = make([]float64, len(cfg.Sizes))
 		res.QueryMean[a] = make([]float64, len(cfg.Sizes))
 	}
-	for si, n := range cfg.Sizes {
+
+	cells := make([]sweepCell, 0, len(cfg.Sizes)*cfg.Seeds)
+	for si := range cfg.Sizes {
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			meters, err := runOne(cfg, n, int64(seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: size %d seed %d: %w", n, seed, err)
-			}
-			for a := range Algorithms {
-				res.Maintenance[a][si] += meters[a].MaintRatio() / float64(cfg.Seeds)
-				res.Query[a][si] += meters[a].QueryRatio() / float64(cfg.Seeds)
-				res.MaintenanceMean[a][si] += meters[a].MaintMeanRatio() / float64(cfg.Seeds)
-				res.QueryMean[a][si] += meters[a].QueryMeanRatio() / float64(cfg.Seeds)
-			}
+			cells = append(cells, sweepCell{si: si, seedIdx: seed})
+		}
+	}
+	meters, err := runCells(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: fold per-cell meters in (size, seedIndex)
+	// order. Scheduling never touches the sum order, so Workers=N output
+	// is byte-identical to Workers=1.
+	for ci, c := range cells {
+		for a := range Algorithms {
+			res.Maintenance[a][c.si] += meters[ci][a].MaintRatio() / float64(cfg.Seeds)
+			res.Query[a][c.si] += meters[ci][a].QueryRatio() / float64(cfg.Seeds)
+			res.MaintenanceMean[a][c.si] += meters[ci][a].MaintMeanRatio() / float64(cfg.Seeds)
+			res.QueryMean[a][c.si] += meters[ci][a].QueryMeanRatio() / float64(cfg.Seeds)
 		}
 	}
 	return res, nil
 }
 
+// runCells executes sweep cells on a bounded worker pool and returns the
+// per-cell meters indexed like cells. On failure it reports the error of
+// the earliest cell that failed (deterministic even when several workers
+// fail at once) and stops handing out further cells.
+func runCells(cfg CostRatioConfig, cells []sweepCell) ([][]core.CostMeter, error) {
+	meters := make([][]core.CostMeter, len(cells))
+	errs := make([]error, len(cells))
+	workers := cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				if failed.Load() {
+					continue
+				}
+				c := cells[ci]
+				n := cfg.Sizes[c.si]
+				ms, err := runOne(cfg, n, mobility.StreamSeed(cfg.BaseSeed, n, c.seedIdx))
+				if err != nil {
+					errs[ci] = fmt.Errorf("experiments: size %d seed %d: %w", n, c.seedIdx, err)
+					failed.Store(true)
+					continue
+				}
+				meters[ci] = ms
+			}
+		}()
+	}
+	for ci := range cells {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return meters, nil
+}
+
 // runOne runs all four algorithms on one grid/seed and returns their
-// meters in Algorithms order.
+// meters in Algorithms order. seed is the cell's derived stream seed; it
+// drives workload generation, hierarchy construction, and the concurrent
+// scheduler, so the cell is fully reproducible in isolation.
 func runOne(cfg CostRatioConfig, n int, seed int64) ([]core.CostMeter, error) {
 	g := graph.NearSquareGrid(n)
 	m := graph.NewMetric(g)
@@ -144,6 +218,7 @@ func runOne(cfg CostRatioConfig, n int, seed int64) ([]core.CostMeter, error) {
 		Objects:        cfg.Objects,
 		MovesPerObject: cfg.MovesPerObject,
 		Queries:        cfg.Queries,
+		QueryRadius:    cfg.QueryRadius,
 		Seed:           seed,
 	})
 	if err != nil {

@@ -15,8 +15,12 @@ func TestCostRatioOneByOneShape(t *testing.T) {
 		Objects:        10,
 		MovesPerObject: 120,
 		Queries:        60,
-		Seeds:          2,
-		LoadBalance:    false,
+		// Localized queries are where distance-sensitivity is structural:
+		// STUN pays the sink trip ~O(D) per query while MOT pays O(dist),
+		// so the separation survives small samples at any seed.
+		QueryRadius: 3,
+		Seeds:       3,
+		LoadBalance: false,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -29,9 +33,8 @@ func TestCostRatioOneByOneShape(t *testing.T) {
 		if mot >= stun {
 			t.Errorf("size %d: MOT maintenance ratio %.2f not below STUN %.2f", n, mot, stun)
 		}
-		// Query separation needs network scale: STUN pays the sink trip
-		// ~O(D) per query while MOT pays O(dist); on tiny grids the
-		// hierarchy constants mask it.
+		// Query separation needs network scale: on tiny grids the
+		// hierarchy constants mask the sink-trip gap.
 		qmot, qstun := res.QueryMean[0][si], res.QueryMean[1][si]
 		if n >= 100 && qmot >= qstun {
 			t.Errorf("size %d: MOT query ratio %.2f not below STUN %.2f", n, qmot, qstun)

@@ -24,17 +24,17 @@ func Figures(scale float64) map[int]Figure {
 	if scale <= 0 || scale > 1 {
 		scale = 1
 	}
-	objs100 := scaleInt(100, scale, 4)
-	objs1000 := scaleInt(1000, scale, 8)
-	moves := scaleInt(1000, scale, 20)
+	objs100 := scaleInt(DefaultObjects, scale, 4)
+	objs1000 := scaleInt(10*DefaultObjects, scale, 8)
+	moves := scaleInt(DefaultMovesPerObject, scale, 20)
 	queries100 := scaleInt(100, scale, 20)
 	queries1000 := scaleInt(1000, scale, 20)
-	seeds := scaleInt(5, scale, 1)
-	sizes := []int{10, 16, 36, 64, 121, 256, 529, 1024}
+	seeds := scaleInt(DefaultSeeds, scale, 1)
+	sizes := append([]int(nil), DefaultSizes...)
 	if scale < 1 {
 		sizes = []int{10, 36, 121, 256}
 	}
-	loadNodes := scaleInt(1024, scale, 100)
+	loadNodes := scaleInt(DefaultLoadNodes, scale, 100)
 
 	cost := func(objects, queries int, concurrent bool) CostRatioConfig {
 		return CostRatioConfig{
@@ -73,6 +73,15 @@ func scaleInt(full int, scale float64, min int) int {
 		v = min
 	}
 	return v
+}
+
+// WithWorkers returns a copy of f whose harness runs its sweep cells on
+// an n-goroutine worker pool (n <= 0 means one per CPU). The rendered
+// figure is byte-identical for every n; only wall-clock time changes.
+func (f Figure) WithWorkers(n int) Figure {
+	f.Cost.Workers = n
+	f.Load.Workers = n
+	return f
 }
 
 // FigureIDs returns the available figure numbers sorted.

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// goldenConfig is a small Fig-4-style sweep: one-by-one execution, load
+// balancing on, several sizes and seeds so cells actually interleave
+// across workers.
+func goldenConfig(workers int) CostRatioConfig {
+	return CostRatioConfig{
+		Sizes:          []int{10, 16, 36},
+		Objects:        6,
+		MovesPerObject: 30,
+		Queries:        20,
+		Seeds:          3,
+		LoadBalance:    true,
+		Workers:        workers,
+	}
+}
+
+// renderCost prints a sweep result the way the figures do, both metric
+// tables, into one byte buffer.
+func renderCost(res *CostRatioResult) []byte {
+	var buf bytes.Buffer
+	PrintCostRatio(&buf, res, false)
+	PrintCostRatio(&buf, res, true)
+	return buf.Bytes()
+}
+
+// Golden determinism contract: the rendered figure rows must be
+// byte-identical for Workers=1 and Workers=8. Any shared PRNG between
+// cells or any scheduling-dependent merge order breaks this.
+func TestGoldenParallelMatchesSequential(t *testing.T) {
+	seq, err := RunCostRatio(goldenConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCostRatio(goldenConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderCost(seq), renderCost(par)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Workers=1 and Workers=8 rendered different figures:\n--- sequential\n%s--- parallel\n%s", a, b)
+	}
+
+	// Re-running the parallel sweep must also reproduce itself exactly.
+	par2, err := RunCostRatio(goldenConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, renderCost(par2)) {
+		t.Fatal("two Workers=8 runs rendered different figures")
+	}
+}
+
+// The concurrent (discrete-event) sweep must obey the same contract.
+func TestGoldenParallelMatchesSequentialConcurrent(t *testing.T) {
+	cfg := goldenConfig(1)
+	cfg.Concurrent = true
+	cfg.Sizes = []int{16, 36}
+	cfg.Seeds = 2
+	seq, err := RunCostRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := RunCostRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderCost(seq), renderCost(par)) {
+		t.Fatal("concurrent sweep: Workers=1 and Workers=8 rendered different figures")
+	}
+}
+
+// A distinct BaseSeed must select a different (but still reproducible)
+// sweep — the base seed is a real input to the stream split, not ignored.
+func TestGoldenBaseSeedSelectsStream(t *testing.T) {
+	a := goldenConfig(4)
+	b := goldenConfig(4)
+	b.BaseSeed = 99
+	ra, err := RunCostRatio(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunCostRatio(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(renderCost(ra), renderCost(rb)) {
+		t.Fatal("BaseSeed=0 and BaseSeed=99 rendered identical figures")
+	}
+	rb2, err := RunCostRatio(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderCost(rb), renderCost(rb2)) {
+		t.Fatal("BaseSeed=99 sweep did not reproduce itself")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -29,24 +30,22 @@ type LoadConfig struct {
 	HistogramMax int
 	// ZoneDepth is Z-DAT's quadrant depth.
 	ZoneDepth int
+	// Workers bounds the harness's concurrency. The MOT and baseline
+	// replays are independent (they share only the read-only workload),
+	// so Workers>1 runs them on separate goroutines; the result is
+	// identical either way. Zero or negative means runtime.GOMAXPROCS.
+	Workers int
 }
 
 func (c *LoadConfig) fill() {
-	if c.Nodes <= 0 {
-		c.Nodes = 1024
-	}
-	if c.Objects <= 0 {
-		c.Objects = 100
-	}
+	fillInt(&c.Nodes, DefaultLoadNodes)
+	fillInt(&c.Objects, DefaultObjects)
 	if c.Baseline == "" {
 		c.Baseline = AlgSTUN
 	}
-	if c.HistogramMax <= 0 {
-		c.HistogramMax = 20
-	}
-	if c.ZoneDepth <= 0 {
-		c.ZoneDepth = 2
-	}
+	fillInt(&c.HistogramMax, DefaultHistogramMax)
+	fillInt(&c.ZoneDepth, DefaultZoneDepth)
+	fillWorkers(&c.Workers)
 }
 
 // LoadResult compares per-node load distributions.
@@ -77,44 +76,72 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 	rates := w.DetectionRates(g)
 
-	// MOT with hashed-cluster placement.
-	hs, err := hier.Build(g, m, hier.Config{Seed: cfg.Seed, SpecialParentOffset: 2})
-	if err != nil {
-		return nil, err
+	// The two sides only read g, m, w, and rates, so with Workers>1 they
+	// run concurrently; each side's load vector depends on nothing but
+	// its own replay, so the result is the same either way.
+	var motLoad, baseLoad []int
+	motSide := func() error {
+		hs, err := hier.Build(g, m, hier.Config{Seed: cfg.Seed, SpecialParentOffset: 2})
+		if err != nil {
+			return err
+		}
+		mot := core.New(hs, core.Config{Placement: lb.New(hs)})
+		for o, at := range w.Initial {
+			if err := mot.Publish(core.ObjectID(o), at); err != nil {
+				return err
+			}
+		}
+		for _, mv := range w.Moves {
+			if err := mot.Move(mv.Object, mv.To); err != nil {
+				return err
+			}
+		}
+		motLoad = mot.LoadByNode(g.N())
+		return nil
 	}
-	mot := core.New(hs, core.Config{Placement: lb.New(hs)})
-	for o, at := range w.Initial {
-		if err := mot.Publish(core.ObjectID(o), at); err != nil {
+	baseSide := func() error {
+		t, tc, err := baselineTree(cfg.Baseline, g, m, rates, cfg.ZoneDepth)
+		if err != nil {
+			return err
+		}
+		base, err := treedir.New(t, m, tc)
+		if err != nil {
+			return err
+		}
+		for o, at := range w.Initial {
+			if err := base.Publish(core.ObjectID(o), at); err != nil {
+				return err
+			}
+		}
+		for _, mv := range w.Moves {
+			if err := base.Move(mv.Object, mv.To); err != nil {
+				return err
+			}
+		}
+		baseLoad = base.LoadByNode(g.N())
+		return nil
+	}
+	if cfg.Workers > 1 {
+		var wg sync.WaitGroup
+		var motErr, baseErr error
+		wg.Add(2)
+		go func() { defer wg.Done(); motErr = motSide() }()
+		go func() { defer wg.Done(); baseErr = baseSide() }()
+		wg.Wait()
+		if motErr != nil {
+			return nil, motErr
+		}
+		if baseErr != nil {
+			return nil, baseErr
+		}
+	} else {
+		if err := motSide(); err != nil {
+			return nil, err
+		}
+		if err := baseSide(); err != nil {
 			return nil, err
 		}
 	}
-	for _, mv := range w.Moves {
-		if err := mot.Move(mv.Object, mv.To); err != nil {
-			return nil, err
-		}
-	}
-	motLoad := mot.LoadByNode(g.N())
-
-	// Baseline.
-	t, tc, err := baselineTree(cfg.Baseline, g, m, rates, cfg.ZoneDepth)
-	if err != nil {
-		return nil, err
-	}
-	base, err := treedir.New(t, m, tc)
-	if err != nil {
-		return nil, err
-	}
-	for o, at := range w.Initial {
-		if err := base.Publish(core.ObjectID(o), at); err != nil {
-			return nil, err
-		}
-	}
-	for _, mv := range w.Moves {
-		if err := base.Move(mv.Object, mv.To); err != nil {
-			return nil, err
-		}
-	}
-	baseLoad := base.LoadByNode(g.N())
 
 	return &LoadResult{
 		Config:       cfg,

@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+// Race-detector smoke for the parallel sweep harness: enough cells to
+// keep several workers busy at once, both execution modes, plus a
+// parallel load run. `make check` runs this under `go test -race`; any
+// state shared between sweep cells shows up here.
+func TestRaceParallelSweep(t *testing.T) {
+	res, err := RunCostRatio(CostRatioConfig{
+		Sizes:          []int{10, 16, 25, 36},
+		Objects:        5,
+		MovesPerObject: 20,
+		Queries:        10,
+		Seeds:          3,
+		LoadBalance:    true,
+		Workers:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range res.Algorithms {
+		for si := range res.Sizes {
+			if res.MaintenanceMean[a][si] <= 0 {
+				t.Fatalf("%s size %d: empty cell merged", res.Algorithms[a], res.Sizes[si])
+			}
+		}
+	}
+}
+
+func TestRaceParallelSweepConcurrentMode(t *testing.T) {
+	_, err := RunCostRatio(CostRatioConfig{
+		Sizes:          []int{16, 25},
+		Objects:        4,
+		MovesPerObject: 15,
+		Queries:        8,
+		Seeds:          2,
+		Concurrent:     true,
+		Workers:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaceParallelLoad(t *testing.T) {
+	res, err := RunLoad(LoadConfig{Nodes: 64, Objects: 15, MovesPerObject: 5, Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MOT.Total == 0 || res.Baseline.Total == 0 {
+		t.Fatalf("empty load totals: %+v", res)
+	}
+}
+
+// A failing cell must surface the error of the earliest (size, seed) cell
+// deterministically, not whichever worker lost the race.
+func TestParallelSweepErrorIsDeterministic(t *testing.T) {
+	cfg := CostRatioConfig{
+		// Size 1 has a single node with no neighbors: workload generation
+		// fails in every seed cell of that size.
+		Sizes:          []int{1, 16},
+		Objects:        3,
+		MovesPerObject: 5,
+		Queries:        3,
+		Seeds:          2,
+		Workers:        4,
+	}
+	var first string
+	for i := 0; i < 4; i++ {
+		_, err := RunCostRatio(cfg)
+		if err == nil {
+			t.Fatal("sweep over a neighborless grid succeeded")
+		}
+		if i == 0 {
+			first = err.Error()
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error not deterministic: %q vs %q", err.Error(), first)
+		}
+	}
+}
