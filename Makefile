@@ -1,8 +1,10 @@
 # Tier-1 verification for the MOT reproduction.
 #
-#   make check   — vet, build, full test suite, then the -race smoke tier
+#   make check   — gofmt, vet, build, full test suite, -race smoke tier,
+#                  then the motlint determinism/concurrency analyzer suite
+#   make lint    — just motlint (internal/lint rules over every package)
 #   make race    — just the -race smoke tier (parallel sweep harness,
-#                  seed-stream splits, goroutine tracker)
+#                  seed-stream splits, goroutine tracker + track.Group)
 #   make bench   — the per-figure benchmarks plus the sweep-worker timing
 #
 # The -race tier is intentionally short: it runs only the tests that
@@ -12,12 +14,18 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/experiments ./internal/runtime ./internal/mobility
+RACE_PKGS = ./internal/experiments ./internal/runtime ./internal/runtime/track ./internal/mobility
 RACE_RUN  = 'TestRace|TestParallel|TestGolden|TestStream|TestConcurrent'
 
-.PHONY: check vet build test race bench
+.PHONY: check fmt vet build test race lint bench
 
-check: vet build test race
+check: fmt vet build test race lint
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +38,9 @@ test:
 
 race:
 	$(GO) test -race -run $(RACE_RUN) -timeout 5m $(RACE_PKGS)
+
+lint:
+	$(GO) run ./cmd/motlint ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,116 @@
+// Command motlint runs the repository's determinism & concurrency
+// analyzer suite (internal/lint) over the module and prints findings as
+//
+//	file:line: [rule] message
+//
+// exiting 1 when any violation survives and 2 on usage or load errors.
+//
+// Usage:
+//
+//	motlint ./...              # lint every package in the module (default)
+//	motlint -list              # print the rule table and exit
+//	motlint -rules barego,walltime ./...
+//
+// The policy (allowlists per rule) is internal/lint's Default config;
+// waive a single finding in place with
+//
+//	//motlint:ignore <rule> <reason>
+//
+// on the offending line or the line above it. make lint wires this
+// command into the tier-1 `make check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzer rules and exit")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(os.Stderr, "motlint: unknown rule %q (see -list)\n", r)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	// Targets: "./..." (the default) lints the whole module; a
+	// directory path lints that one package. Module-wide runs are the
+	// policy — single directories exist for poking at fixtures.
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motlint: %v\n", err)
+		os.Exit(2)
+	}
+	runner := lint.NewRunner(lint.Default(), analyzers...)
+	var findings []lint.Finding
+	for _, arg := range args {
+		var fs []lint.Finding
+		if arg == "./..." {
+			fs, err = runner.LintModule(root)
+		} else {
+			fs, err = runner.LintDir(root, arg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motlint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "motlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

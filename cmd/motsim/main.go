@@ -36,6 +36,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md, or csv")
 	workers := flag.Int("workers", 0, "sweep worker pool size; 0 = one per CPU (output is identical for any value)")
 	list := flag.Bool("list", false, "list available figures and exit")
+	quiet := flag.Bool("quiet", false, "suppress the per-figure wall-clock summary")
 	flag.Parse()
 
 	figs := experiments.Figures(*scale)
@@ -89,6 +90,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "motsim: figure %d: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(figure %d took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		// Wall-clock timing is driver chatter, not part of the figure:
+		// it goes to stderr so redirected result files hold only
+		// deterministic bytes, and -quiet silences it entirely.
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "(figure %d took %v)\n", id, time.Since(start).Round(time.Millisecond))
+		}
 	}
 }

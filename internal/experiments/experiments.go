@@ -11,7 +11,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -19,6 +18,7 @@ import (
 	"repro/internal/hier"
 	"repro/internal/lb"
 	"repro/internal/mobility"
+	"repro/internal/runtime/track"
 	"repro/internal/stun"
 	"repro/internal/treedir"
 	"repro/internal/zdat"
@@ -172,11 +172,9 @@ func runCells(cfg CostRatioConfig, cells []sweepCell) ([][]core.CostMeter, error
 	}
 	var failed atomic.Bool
 	jobs := make(chan int)
-	var wg sync.WaitGroup
+	var pool track.Group
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		pool.Go(func() {
 			for ci := range jobs {
 				if failed.Load() {
 					continue
@@ -191,13 +189,13 @@ func runCells(cfg CostRatioConfig, cells []sweepCell) ([][]core.CostMeter, error
 				}
 				meters[ci] = ms
 			}
-		}()
+		})
 	}
 	for ci := range cells {
 		jobs <- ci
 	}
 	close(jobs)
-	wg.Wait()
+	pool.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/lb"
 	"repro/internal/mobility"
+	"repro/internal/runtime/track"
 	"repro/internal/stats"
 	"repro/internal/treedir"
 )
@@ -122,12 +122,11 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		return nil
 	}
 	if cfg.Workers > 1 {
-		var wg sync.WaitGroup
+		var sides track.Group
 		var motErr, baseErr error
-		wg.Add(2)
-		go func() { defer wg.Done(); motErr = motSide() }()
-		go func() { defer wg.Done(); baseErr = baseSide() }()
-		wg.Wait()
+		sides.Go(func() { motErr = motSide() })
+		sides.Go(func() { baseErr = baseSide() })
+		sides.Wait()
 		if motErr != nil {
 			return nil, motErr
 		}

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"math"
 	"sync"
+
+	"repro/internal/runtime/track"
 )
 
 // Inf is the distance reported between disconnected nodes.
@@ -139,21 +141,19 @@ func (m *Metric) Precompute(par int) {
 	}
 	type job struct{ u NodeID }
 	jobs := make(chan job)
-	var wg sync.WaitGroup
+	var pool track.Group
 	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		pool.Go(func() {
 			for j := range jobs {
 				m.Row(j.u)
 			}
-		}()
+		})
 	}
 	for u := 0; u < m.g.n; u++ {
 		jobs <- job{NodeID(u)}
 	}
 	close(jobs)
-	wg.Wait()
+	pool.Wait()
 }
 
 // Diameter returns the maximum finite shortest-path distance over all node

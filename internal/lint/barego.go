@@ -1,0 +1,26 @@
+package lint
+
+import "go/ast"
+
+// BareGo forbids bare go statements in library packages. Goroutines must
+// launch through internal/runtime/track.Group so every one is tracked and
+// the -race smoke tier can drain them; an untracked goroutine that
+// outlives its test is exactly the leak the tier cannot see.
+var BareGo = &Analyzer{
+	Name: "barego",
+	Doc:  "forbid bare go statements in library code; launch via internal/runtime/track.Group",
+	Run: func(p *Pass) {
+		if p.Cfg.isDriver(p.Path) || pathAllowed(p.Cfg.BareGoAllowed, p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Pos(),
+						"bare go statement in library code; launch via internal/runtime/track.Group so the -race tier can drain it")
+				}
+				return true
+			})
+		}
+	},
+}

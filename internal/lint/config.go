@@ -1,0 +1,82 @@
+package lint
+
+import "strings"
+
+// Config carries the per-rule allowlists. Paths are import-path prefixes
+// (a prefix matches the package itself and everything below it). The
+// zero-value Config forbids everything everywhere; Default() encodes this
+// repository's invariants.
+type Config struct {
+	// ModulePath is the module's import path ("repro"); package kinds
+	// (cmd, examples, library) are derived from it.
+	ModulePath string
+
+	// GlobalRandAllowed lists packages where top-level math/rand calls
+	// (rand.Intn, rand.Seed, …) are permitted. Everywhere else all
+	// randomness must flow through a seeded *rand.Rand (the StreamSeed
+	// discipline); the constructors rand.New / rand.NewSource /
+	// rand.NewZipf are always allowed.
+	GlobalRandAllowed []string
+
+	// WallTimeAllowed lists library packages that may call time.Now /
+	// time.Since. cmd/ and examples/ are always allowed: wall-clock
+	// timing belongs to drivers, never to simulation logic, or result
+	// bytes start depending on the machine that produced them.
+	WallTimeAllowed []string
+
+	// BareGoAllowed lists library packages that may contain bare go
+	// statements. Only internal/runtime/track should ever be here: it is
+	// the single sanctioned launch site, so the -race tier can drain
+	// every goroutine through Group.Wait.
+	BareGoAllowed []string
+
+	// PrintAllowed lists library packages that may write to os.Stdout or
+	// call fmt.Print*. cmd/ and examples/ are always allowed; report
+	// renderers take an io.Writer, so internal/report is here only for
+	// its convenience entry points.
+	PrintAllowed []string
+
+	// MapRangeAllowed lists library packages exempt from the maprange
+	// rule entirely (none by default — prefer a //motlint:ignore with a
+	// reason at the loop, or a sorted-keys helper).
+	MapRangeAllowed []string
+}
+
+// Default is this repository's lint policy, referenced by cmd/motlint and
+// the make lint target.
+func Default() Config {
+	return Config{
+		ModulePath:        "repro",
+		GlobalRandAllowed: []string{"repro/internal/mobility"},
+		WallTimeAllowed:   nil,
+		BareGoAllowed:     []string{"repro/internal/runtime/track"},
+		PrintAllowed:      []string{"repro/internal/report"},
+		MapRangeAllowed:   nil,
+	}
+}
+
+// pathAllowed reports whether pkgPath is covered by one of the prefixes.
+func pathAllowed(prefixes []string, pkgPath string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isCmd reports whether pkgPath is a command (under <module>/cmd/).
+func (c *Config) isCmd(pkgPath string) bool {
+	return pathAllowed([]string{c.ModulePath + "/cmd"}, pkgPath)
+}
+
+// isExample reports whether pkgPath is an example program.
+func (c *Config) isExample(pkgPath string) bool {
+	return pathAllowed([]string{c.ModulePath + "/examples"}, pkgPath)
+}
+
+// isDriver reports whether pkgPath is a cmd or example — code that talks
+// to a terminal rather than producing measured results.
+func (c *Config) isDriver(pkgPath string) bool {
+	return c.isCmd(pkgPath) || c.isExample(pkgPath)
+}

@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators — the approved discipline — rather than
+// drawing from the process-global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// GlobalRand forbids package-level math/rand calls (rand.Intn, rand.Seed,
+// rand.Shuffle, …) outside the allowlisted packages. Global-source
+// randomness is invisible to the (baseSeed, size, seedIndex) stream
+// discipline, so one stray call makes a sweep cell irreproducible.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid global-source math/rand calls; randomness must flow through seeded *rand.Rand streams",
+	Run: func(p *Pass) {
+		if pathAllowed(p.Cfg.GlobalRandAllowed, p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := pkgFunc(p.Info, call)
+				if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") || randConstructors[name] {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"rand.%s draws from the global source; derive a seeded *rand.Rand (mobility.StreamSeed discipline) instead", name)
+				return true
+			})
+		}
+	},
+}

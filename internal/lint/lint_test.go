@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures pins each rule's behavior with a golden want.txt: every
+// directory under testdata/src is linted as a library package and its
+// findings must match byte for byte (positives fire, negatives stay
+// silent, directives waive).
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture directories under testdata/src")
+	}
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			r := NewRunner(Default(), All()...)
+			findings, err := r.LintPackage(dir, "repro/internal/fixture/"+name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got strings.Builder
+			for _, f := range findings {
+				got.WriteString(f.String())
+				got.WriteByte('\n')
+			}
+			want, err := os.ReadFile(filepath.Join(dir, "want.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("findings mismatch\n got:\n%s\nwant:\n%s", got.String(), want)
+			}
+		})
+	}
+}
+
+// TestAllowlistExemptsPackage re-lints the globalrand fixture as if it
+// were internal/mobility — the one package allowed to touch the global
+// source — and expects silence.
+func TestAllowlistExemptsPackage(t *testing.T) {
+	r := NewRunner(Default(), All()...)
+	findings, err := r.LintPackage(filepath.Join("testdata", "src", "globalrand"), "repro/internal/mobility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("allowlisted package still flagged: %s", f)
+	}
+}
+
+// TestDriverPackagesExempt re-lints the barego and printlib fixtures
+// under a cmd/ import path: drivers may launch goroutines and print.
+func TestDriverPackagesExempt(t *testing.T) {
+	for _, name := range []string{"barego", "printlib"} {
+		r := NewRunner(Default(), All()...)
+		findings, err := r.LintPackage(filepath.Join("testdata", "src", name), "repro/cmd/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("driver package still flagged: %s", f)
+		}
+	}
+}
+
+// TestFindingString pins the canonical output format the Makefile and CI
+// grep for.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/sim/engine.go", Line: 42, Col: 3, Rule: "walltime", Msg: "nope"}
+	const want = "internal/sim/engine.go:42: [walltime] nope"
+	if got := f.String(); got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over the real module — the
+// self-applied tree must stay at zero findings. This is the test that
+// turns motlint into a tier-1 invariant (make check also runs the CLI,
+// but the CLI path can be skipped locally; this one cannot).
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Default(), All()...)
+	findings, err := r.LintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("lint finding in tree: %s", f)
+	}
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `for … range` over a map whose body feeds an ordered
+// result — appending to an outer slice, printing/writing, or
+// accumulating into an order-sensitive value (string or float). Go map
+// iteration order is randomized, so any such loop makes output bytes (or
+// float sums) depend on the run, which is exactly what the golden figure
+// tests forbid.
+//
+// The sorted-keys helper idiom is recognized and exempt: a loop that only
+// collects keys/values into a slice which is passed to sort.* /
+// slices.Sort* later in the same function (e.g. experiments.FigureIDs)
+// is the fix, not a violation. Prints and string/float accumulation have
+// no after-the-fact fix and are always flagged.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid map iteration that feeds ordered output; go through a sorted-keys helper",
+	Run: func(p *Pass) {
+		if p.Cfg.isDriver(p.Path) || pathAllowed(p.Cfg.MapRangeAllowed, p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkMapRanges(p, fn.Body)
+			}
+		}
+	},
+}
+
+// checkMapRanges walks one function body (function literals included —
+// they sort, or fail to, within the same enclosing body).
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		acc := scanAccumulation(p, rs)
+		if acc == nil {
+			return true
+		}
+		if acc.onlyAppends() && allSortedAfter(p, body, rs, acc.appendTargets) {
+			return true
+		}
+		p.Reportf(rs.Pos(),
+			"map iteration feeds ordered output (%s); iterate sorted keys (FigureIDs-style helper) instead",
+			strings.Join(acc.kinds(), ", "))
+		return true
+	})
+}
+
+// accumulation describes what a map-range body does with the unordered
+// iteration.
+type accumulation struct {
+	appendTargets []types.Object // outer slices appended to
+	prints        bool           // fmt.Print*/Fprint* or Write* method calls
+	concats       bool           // += / -= on an outer string or float
+}
+
+func (a *accumulation) onlyAppends() bool {
+	return len(a.appendTargets) > 0 && !a.prints && !a.concats
+}
+
+func (a *accumulation) kinds() []string {
+	var ks []string
+	if len(a.appendTargets) > 0 {
+		ks = append(ks, "append")
+	}
+	if a.prints {
+		ks = append(ks, "print")
+	}
+	if a.concats {
+		ks = append(ks, "order-sensitive accumulation")
+	}
+	return ks
+}
+
+// writeMethods are method names treated as ordered-output sinks.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// scanAccumulation inspects a map-range body; nil means the body is
+// order-insensitive as far as the rule can tell.
+func scanAccumulation(p *Pass, rs *ast.RangeStmt) *accumulation {
+	acc := &accumulation{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			scanAssign(p, rs, n, acc)
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgFunc(p.Info, n); ok {
+				if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+					acc.prints = true
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && writeMethods[sel.Sel.Name] {
+				acc.prints = true
+			}
+		}
+		return true
+	})
+	if len(acc.appendTargets) == 0 && !acc.prints && !acc.concats {
+		return nil
+	}
+	return acc
+}
+
+// scanAssign records appends to outer slices and order-sensitive += / -=
+// on outer strings and floats. Integer accumulation is commutative and
+// stays legal; float addition is not associative, so a float sum over map
+// order is a real determinism bug.
+func scanAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, acc *accumulation) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if u := p.Info.Uses[id]; u != nil && u.Pkg() != nil {
+				continue // a user function shadowing the builtin
+			}
+			if obj := outerObject(p, rs, as.Lhs[i]); obj != nil {
+				acc.appendTargets = append(acc.appendTargets, obj)
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(as.Lhs) != 1 {
+			return
+		}
+		obj := outerObject(p, rs, as.Lhs[0])
+		if obj == nil {
+			return
+		}
+		switch bt := obj.Type().Underlying().(type) {
+		case *types.Basic:
+			if bt.Info()&types.IsString != 0 || bt.Info()&types.IsFloat != 0 {
+				acc.concats = true
+			}
+		}
+	}
+}
+
+// outerObject resolves an assignment target declared outside the range
+// statement (struct fields count: their declaration is outside too).
+func outerObject(p *Pass, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	var id *ast.Ident
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		id = l
+	case *ast.SelectorExpr:
+		id = l.Sel
+	default:
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil || !obj.Pos().IsValid() {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+		return nil // declared inside the loop; dies with the iteration
+	}
+	return obj
+}
+
+// allSortedAfter reports whether every append target is handed to a
+// sort.* or slices.Sort* call after the range statement in the same
+// function body — the sorted-keys helper shape.
+func allSortedAfter(p *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, targets []types.Object) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		pkg, _, ok := pkgFunc(p.Info, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := p.Info.Uses[id]; obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

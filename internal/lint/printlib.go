@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PrintLib forbids writing to the process's stdout from library code:
+// fmt.Print* calls and any mention of os.Stdout. Renderers take an
+// io.Writer so callers (and tests) own the byte stream; a library-level
+// print interleaves with harness output nondeterministically under the
+// parallel sweeps.
+var PrintLib = &Analyzer{
+	Name: "printlib",
+	Doc:  "forbid fmt.Print*/os.Stdout in library code; render through an io.Writer",
+	Run: func(p *Pass) {
+		if p.Cfg.isDriver(p.Path) || pathAllowed(p.Cfg.PrintAllowed, p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					pkg, name, ok := pkgFunc(p.Info, n)
+					if ok && pkg == "fmt" && strings.HasPrefix(name, "Print") {
+						p.Reportf(n.Pos(),
+							"fmt.%s writes to process stdout from library code; take an io.Writer", name)
+					}
+				case *ast.SelectorExpr:
+					id, ok := n.X.(*ast.Ident)
+					if !ok || n.Sel.Name != "Stdout" {
+						return true
+					}
+					if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+						p.Reportf(n.Pos(),
+							"os.Stdout referenced from library code; take an io.Writer")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,34 @@
+// Package fixture seeds positive and negative cases for the barego rule.
+package fixture
+
+import "sync"
+
+// fire is a positive: an untracked goroutine.
+func fire(fn func()) {
+	go fn()
+}
+
+// pooled is a positive even though it waits: the launch bypasses
+// track.Group, so the lint tier cannot see the pool.
+func pooled(n int, fn func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// inline is a negative: no goroutine, just a call.
+func inline(fn func()) {
+	fn()
+}
+
+// waived is a negative: the escape hatch with a reason.
+func waived(fn func()) {
+	//motlint:ignore barego fixture demonstrating the escape hatch
+	go fn()
+}

@@ -1,0 +1,37 @@
+// Package fixture seeds positive and negative cases for the globalrand
+// rule.
+package fixture
+
+import "math/rand"
+
+// roll is a positive: draws from the process-global source.
+func roll() int {
+	return rand.Intn(6)
+}
+
+// reseed is a positive: rand.Seed mutates global state.
+func reseed() {
+	rand.Seed(42)
+}
+
+// shuffle is a positive: global-source permutation.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// stream is a negative: the approved constructors for a seeded stream.
+func stream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// draw is a negative: method calls on a seeded *rand.Rand are the
+// discipline, not a violation.
+func draw(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// waived is a negative: the escape hatch with a reason.
+func waived() float64 {
+	//motlint:ignore globalrand fixture demonstrating the escape hatch
+	return rand.Float64()
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the //motlint:ignore directive machinery:
+// malformed directives are findings themselves, well-formed ones waive
+// rules on their own line and the line below.
+package fixture
+
+import "time"
+
+// bad1 has a reasonless directive: the directive is reported AND does not
+// waive, so the walltime finding fires too.
+//
+//motlint:ignore walltime
+func bad1() time.Time { return time.Now() }
+
+// bad2 names a rule that does not exist.
+func bad2() time.Time {
+	//motlint:ignore nosuchrule because reasons
+	return time.Now()
+}
+
+// listForm waives several rules at once.
+func listForm() time.Time {
+	//motlint:ignore walltime,printlib comma list covers both rules
+	return time.Now()
+}
+
+// sameLine puts the directive after the statement.
+func sameLine() time.Time {
+	return time.Now() //motlint:ignore walltime same-line directive
+}
+
+// allForm uses the "all" wildcard.
+func allForm() time.Time {
+	//motlint:ignore all migration shim, remove with the next refactor
+	return time.Now()
+}

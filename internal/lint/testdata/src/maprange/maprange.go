@@ -1,0 +1,83 @@
+// Package fixture seeds positive and negative cases for the maprange
+// rule. want.txt next to this file pins the exact findings.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// keysUnsorted is a positive: appends map keys into an outer slice and
+// never sorts them.
+func keysUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is a negative: the sorted-keys helper shape the rule asks
+// for (collect, then sort in the same function).
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dump is a positive: writes during the iteration, so the byte order is
+// the map's randomized order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// total is a positive: float addition is not associative, so the sum
+// depends on iteration order.
+func total(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// join is a positive: string concatenation in map order.
+func join(m map[string]string) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// count is a negative: integer accumulation commutes.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceDump is a negative: ranging over a slice is ordered.
+func sliceDump(w io.Writer, xs []int) {
+	for i, x := range xs {
+		fmt.Fprintf(w, "%d=%d\n", i, x)
+	}
+}
+
+// waived is a negative: the escape hatch with a reason.
+func waived(m map[int]string) []int {
+	var out []int
+	//motlint:ignore maprange caller sorts; keeping the fixture honest
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

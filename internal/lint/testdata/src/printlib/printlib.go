@@ -1,0 +1,41 @@
+// Package fixture seeds positive and negative cases for the printlib
+// rule.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// announce is a positive: prints to process stdout from library code.
+func announce() {
+	fmt.Println("hello")
+}
+
+// announcef is a positive.
+func announcef(x int) {
+	fmt.Printf("%d\n", x)
+}
+
+// grab is a positive: handing os.Stdout around is still a write path.
+func grab() io.Writer {
+	return os.Stdout
+}
+
+// render is a negative: the library discipline — callers own the writer.
+func render(w io.Writer, x int) {
+	fmt.Fprintf(w, "%d\n", x)
+}
+
+// complain is a negative: only stdout is result-bearing; stderr
+// diagnostics are out of the rule's scope.
+func complain() {
+	fmt.Fprintln(os.Stderr, "bad")
+}
+
+// waived is a negative: the escape hatch with a reason.
+func waived() {
+	//motlint:ignore printlib fixture demonstrating the escape hatch
+	fmt.Println("progress")
+}

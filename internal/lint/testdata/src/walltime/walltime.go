@@ -1,0 +1,31 @@
+// Package fixture seeds positive and negative cases for the walltime
+// rule.
+package fixture
+
+import "time"
+
+// stamp is a positive: reads the machine clock.
+func stamp() time.Time {
+	return time.Now()
+}
+
+// elapsed is a positive.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// remaining is a positive.
+func remaining(t0 time.Time) time.Duration {
+	return time.Until(t0)
+}
+
+// advance is a negative: pure time arithmetic on values handed in.
+func advance(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// waived is a negative: the escape hatch with a reason.
+func waived() time.Time {
+	//motlint:ignore walltime fixture demonstrating the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+package lint
+
+import "go/ast"
+
+// wallClockFuncs are the time package entry points that read the machine
+// clock. Timers and tickers are caught by their own entry points.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// WallTime forbids wall-clock reads in simulation library code. Simulated
+// time lives in the discrete-event engine; a time.Now in a result path
+// makes output depend on the machine that produced it. Drivers (cmd/,
+// examples/) may time things — around the simulation, never inside it.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Since in simulation library code",
+	Run: func(p *Pass) {
+		if p.Cfg.isDriver(p.Path) || pathAllowed(p.Cfg.WallTimeAllowed, p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := pkgFunc(p.Info, call)
+				if !ok || pkg != "time" || !wallClockFuncs[name] {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"time.%s reads the wall clock in simulation library code; time the call from cmd/ instead", name)
+				return true
+			})
+		}
+	},
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/runtime/track"
 )
 
 // Adjacency reports the neighbors of a node in the (level) graph on which
@@ -112,11 +113,9 @@ func LubyParallel(nodes []graph.NodeID, adj Adjacency, rng *rand.Rand) []graph.N
 			prio[u] = rng.Float64()
 		}
 		wins := make([]bool, len(active))
-		var wg sync.WaitGroup
+		var round track.Group
 		for i, u := range active {
-			wg.Add(1)
-			go func(i int, u graph.NodeID) {
-				defer wg.Done()
+			round.Go(func() {
 				w := true
 				for _, v := range adj(u) {
 					if stat(v) != statusActive {
@@ -132,9 +131,9 @@ func LubyParallel(nodes []graph.NodeID, adj Adjacency, rng *rand.Rand) []graph.N
 					}
 				}
 				wins[i] = w
-			}(i, u)
+			})
 		}
-		wg.Wait()
+		round.Wait()
 		for i, u := range active {
 			if wins[i] {
 				status.Store(u, statusIn)

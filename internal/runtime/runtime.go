@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/overlay"
+	"repro/internal/runtime/track"
 )
 
 type slotKey struct {
@@ -71,7 +72,7 @@ type Tracker struct {
 
 	inboxes []chan message
 	quit    chan struct{}
-	wg      sync.WaitGroup
+	loops   track.Group
 
 	// slots[n] is owned exclusively by node n's goroutine.
 	slots []map[slotKey]*slotState
@@ -102,8 +103,8 @@ func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
 		t.slots[i] = make(map[slotKey]*slotState)
 	}
 	for i := 0; i < g.N(); i++ {
-		t.wg.Add(1)
-		go t.nodeLoop(graph.NodeID(i))
+		id := graph.NodeID(i)
+		t.loops.Go(func() { t.nodeLoop(id) })
 	}
 	return t
 }
@@ -111,7 +112,7 @@ func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
 // Stop shuts down all node goroutines. Pending operations are abandoned.
 func (t *Tracker) Stop() {
 	close(t.quit)
-	t.wg.Wait()
+	t.loops.Wait()
 }
 
 // Cost returns the total distance traveled by all messages so far.
@@ -161,7 +162,6 @@ func (t *Tracker) deliver(msg message) {
 
 // nodeLoop is one sensor's event loop.
 func (t *Tracker) nodeLoop(id graph.NodeID) {
-	defer t.wg.Done()
 	for {
 		select {
 		case <-t.quit:

@@ -1,0 +1,39 @@
+package track
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupWaitDrainsAll(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("after Wait: %d goroutines ran, want 100", got)
+	}
+}
+
+func TestGroupZeroValueWait(t *testing.T) {
+	var g Group
+	g.Wait() // must not block or panic with nothing launched
+}
+
+// TestConcurrentGroupReuse exercises launch-while-draining interleavings;
+// it runs under the -race smoke tier (name matches the tier's -run filter).
+func TestConcurrentGroupReuse(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 4; i++ {
+			g.Go(func() { n.Add(1) })
+		}
+		g.Wait()
+	}
+	if got := n.Load(); got != 200 {
+		t.Fatalf("ran %d, want 200", got)
+	}
+}
