@@ -1,25 +1,37 @@
 # Tier-1 verification for the MOT reproduction.
 #
 #   make check   — gofmt, vet, build, full test suite, -race smoke tier,
-#                  then the motlint determinism/concurrency analyzer suite
+#                  the chaos fault-injection tier, then the motlint
+#                  determinism/concurrency analyzer suite
 #   make lint    — just motlint (internal/lint rules over every package)
 #   make race    — just the -race smoke tier (parallel sweep harness,
 #                  seed-stream splits, goroutine tracker + track.Group)
+#   make chaos   — just the chaos tier: seeded crash/drop/delay schedules
+#                  on both execution substrates under -race, with recovery
+#                  invariants asserted at quiescence and golden fault-trace
+#                  replay checks
+#   make cover   — full-suite coverage, failing below COVER_MIN%
 #   make bench   — the per-figure benchmarks plus the sweep-worker timing
 #
-# The -race tier is intentionally short: it runs only the tests that
-# exercise real concurrency (TestRace*, TestParallel*, TestGolden*,
-# TestStream*, TestConcurrent*) in the packages that own it, so the whole
-# check stays CI-friendly.
+# The -race and chaos tiers are intentionally short: they run only the
+# tests that exercise real concurrency and fault injection in the packages
+# that own them, so the whole check stays CI-friendly.
 
 GO ?= go
 
 RACE_PKGS = ./internal/experiments ./internal/runtime ./internal/runtime/track ./internal/mobility
 RACE_RUN  = 'TestRace|TestParallel|TestGolden|TestStream|TestConcurrent'
 
-.PHONY: check fmt vet build test race lint bench
+CHAOS_PKGS = ./internal/chaos ./internal/core ./internal/sim ./internal/runtime ./internal/experiments .
+CHAOS_RUN  = 'TestChaos|TestGoldenChaos|TestRaceDoubleStop'
 
-check: fmt vet build test race lint
+# Statement-coverage floor for `make cover` (the suite sits a few points
+# above; raise the floor as coverage grows, never lower it to pass).
+COVER_MIN = 75
+
+.PHONY: check fmt vet build test race chaos lint cover bench
+
+check: fmt vet build test race chaos lint
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -39,8 +51,20 @@ test:
 race:
 	$(GO) test -race -run $(RACE_RUN) -timeout 5m $(RACE_PKGS)
 
+chaos:
+	$(GO) test -race -run $(CHAOS_RUN) -timeout 5m $(CHAOS_PKGS)
+
 lint:
 	$(GO) run ./cmd/motlint ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{sub(/%/, "", $$3); print $$3}'); \
+	ok=$$(awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { print (t >= min) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% is below COVER_MIN=$(COVER_MIN)%"; exit 1; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -17,6 +17,11 @@
 // (size, seed) cell derives its PRNG from an independent
 // (baseSeed, size, seedIndex) stream, so the printed figures are
 // byte-identical for every worker count.
+//
+// -chaos seed,rate runs the fault-injection tier instead of a figure:
+// seeded crash/drop/delay schedules on both execution substrates, with
+// recovery invariants asserted at quiescence. The printed summary is
+// byte-identical for a given (seed, rate) at any -workers value.
 package main
 
 import (
@@ -24,20 +29,58 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
 
+// runChaos parses "seed,rate" and runs the chaos tier with rate as the
+// message drop rate (0 selects the default mix); delay and crash rates
+// keep their tier defaults.
+func runChaos(spec string, workers int) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "motsim: -chaos wants seed,rate (e.g. -chaos 1,0.15), got %q\n", spec)
+		os.Exit(2)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: -chaos seed %q: %v\n", parts[0], err)
+		os.Exit(2)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil || rate < 0 || rate > 1 {
+		fmt.Fprintf(os.Stderr, "motsim: -chaos rate %q must be a probability\n", parts[1])
+		os.Exit(2)
+	}
+	res, err := experiments.RunChaos(experiments.ChaosConfig{
+		BaseSeed: seed,
+		DropRate: rate,
+		Workers:  workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: chaos: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.PrintChaos(os.Stdout, res)
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure number (4..15) or 'all'")
 	scale := flag.Float64("scale", 0.1, "workload scale in (0,1]; 1 = the paper's full setting")
 	format := flag.String("format", "text", "output format: text, md, or csv")
 	workers := flag.Int("workers", 0, "sweep worker pool size; 0 = one per CPU (output is identical for any value)")
+	chaosSpec := flag.String("chaos", "", "run the chaos tier as 'seed,rate' (e.g. 1,0.15) instead of a figure")
 	list := flag.Bool("list", false, "list available figures and exit")
 	quiet := flag.Bool("quiet", false, "suppress the per-figure wall-clock summary")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		runChaos(*chaosSpec, *workers)
+		return
+	}
 
 	figs := experiments.Figures(*scale)
 	if *list {

@@ -3,6 +3,7 @@ package mot
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/runtime"
@@ -27,8 +28,36 @@ func NewDistributed(g *Graph, opt Options) (*Distributed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mot: building HS overlay: %w", err)
 	}
-	return &Distributed{tr: runtime.New(g, hs)}, nil
+	var inj *chaos.Injector
+	if opt.Chaos != nil {
+		c := opt.Chaos
+		// Crash windows need a simulated clock, which the live runtime
+		// lacks; crashes are driven explicitly through Crash/Recover.
+		inj = chaos.NewInjector(chaos.Config{
+			Seed:        c.Seed,
+			DropRate:    c.DropRate,
+			DelayRate:   c.DelayRate,
+			DelayFactor: c.DelayFactor,
+			MaxAttempts: c.MaxAttempts,
+		}, g.N())
+	}
+	return &Distributed{tr: runtime.NewChaos(g, hs, inj)}, nil
 }
+
+// Crash marks sensor n as down: messages to it are dropped and retried
+// until Recover; operations whose retransmission budget runs out fail with
+// a typed *DeliveryError. Only effective with Options.Chaos set.
+func (d *Distributed) Crash(n NodeID) { d.tr.Crash(n) }
+
+// Recover marks sensor n as up again.
+func (d *Distributed) Recover(n NodeID) { d.tr.Recover(n) }
+
+// SimulatedDelay returns the simulated time spent in chaos backoffs and
+// injected delivery delays (accounted, never slept).
+func (d *Distributed) SimulatedDelay() float64 { return d.tr.SimulatedDelay() }
+
+// FaultTrace returns the deterministic fault trace (nil without chaos).
+func (d *Distributed) FaultTrace() *FaultTrace { return d.tr.FaultTrace() }
 
 // Publish introduces object o at sensor at; it blocks until the detection
 // trail reaches the root.

@@ -98,3 +98,96 @@ func TestMigrateIdentityAndErrors(t *testing.T) {
 		t.Fatal("out-of-range relocation accepted")
 	}
 }
+
+// A relocate function that maps any proxy outside the new network must be
+// rejected — above and below the node range.
+func TestMigrateRelocateOutOfRange(t *testing.T) {
+	g := Grid(4, 4)
+	tr, err := NewTracker(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Publish(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	high := func(NodeID) NodeID { return NodeID(g.N()) }
+	if _, err := Migrate(tr, g, Options{Seed: 2}, high); err == nil {
+		t.Fatal("relocate past the node range accepted")
+	}
+	low := func(NodeID) NodeID { return -1 }
+	if _, err := Migrate(tr, g, Options{Seed: 2}, low); err == nil {
+		t.Fatal("negative relocate accepted")
+	}
+}
+
+// An object retired while the migration is enumerating (its location
+// vanishes between Objects and Location) is skipped, not an error.
+func TestMigrateSkipsObjectRetiredMidway(t *testing.T) {
+	g := Grid(5, 5)
+	tr, err := NewTracker(g, Options{Seed: 1, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 1; o <= 3; o++ {
+		if err := tr.Publish(ObjectID(o), NodeID(o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retired := false
+	fresh, err := Migrate(tr, g, Options{Seed: 2, SpecialParentOffset: 2}, func(u NodeID) NodeID {
+		if !retired {
+			retired = true
+			// Object 3 leaves the system while 1 is being relocated.
+			if err := tr.Unpublish(3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return u
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Location(3); ok {
+		t.Fatal("retired object resurfaced after migration")
+	}
+	for o := 1; o <= 2; o++ {
+		if got, ok := fresh.Location(ObjectID(o)); !ok || got != NodeID(o) {
+			t.Fatalf("object %d at %d after migration", o, got)
+		}
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Golden equivalence: a nil relocate and an explicit identity function
+// must build indistinguishable trackers — same proxies, same meter, and
+// the same cost for every (from, object) query.
+func TestMigrateIdentityGoldenEquivalence(t *testing.T) {
+	tr, g, locs := chaosTracker(t, Options{Seed: 6, SpecialParentOffset: 2})
+	opt := Options{Seed: 7, SpecialParentOffset: 2}
+	a, err := Migrate(tr, g, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Migrate(tr, g, opt, func(u NodeID) NodeID { return u })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Meter() != b.Meter() {
+		t.Fatalf("meters diverged:\nnil:      %+v\nidentity: %+v", a.Meter(), b.Meter())
+	}
+	for o, want := range locs {
+		for from := 0; from < g.N(); from += 7 {
+			pa, ca, errA := a.Query(NodeID(from), ObjectID(o))
+			pb, cb, errB := b.Query(NodeID(from), ObjectID(o))
+			if errA != nil || errB != nil {
+				t.Fatalf("query (%d,%d): %v / %v", from, o, errA, errB)
+			}
+			if pa != pb || ca != cb || pa != want {
+				t.Fatalf("query (%d,%d): nil=(%d,%v) identity=(%d,%v), want proxy %d",
+					from, o, pa, ca, pb, cb, want)
+			}
+		}
+	}
+}

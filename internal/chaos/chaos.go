@@ -1,0 +1,229 @@
+// Package chaos is a deterministic fault-injection layer for the MOT
+// execution substrates (the discrete-event simulator in internal/sim and
+// the goroutine runtime in internal/runtime). Real sensor deployments are
+// defined by faults — sleeping/faulty sensors, radio loss, congestion
+// delay — yet a reproduction is only trustworthy if every run is
+// replayable byte for byte. The layer therefore never consults a global
+// PRNG or the wall clock: every fault decision is a pure SplitMix64 hash
+// of the plan seed and the *logical identity* of the message attempt
+// (operation id, hop index, attempt number), the same discipline as
+// mobility.StreamSeed. Equal (seed, key) always yields the same fate, no
+// matter which goroutine asks or in which order, so fault schedules are
+// reproducible across runs and across worker counts.
+//
+// Three fault kinds are modeled:
+//
+//   - message drop: an attempt is lost with probability DropRate; the
+//     sender retries after exponential backoff (in simulated time) up to
+//     MaxAttempts, then surfaces a typed *DeliveryError instead of
+//     hanging;
+//   - extra delay: a delivered attempt is slowed by DelayFactor × the
+//     message distance with probability DelayRate (congestion that is
+//     proportional to how far the message travels);
+//   - node crash/recover: a deterministic schedule of crash windows
+//     derived from the seed (CrashRate × n nodes, each down for a
+//     CrashSpan fraction of the horizon); messages to a crashed node are
+//     dropped. The goroutine runtime, which has no simulated clock,
+//     drives crashes explicitly through Tracker.Crash/Recover instead.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Config parameterizes a fault plan. The zero value injects nothing.
+type Config struct {
+	// Seed selects the fault stream; equal seeds give identical plans.
+	Seed int64
+	// DropRate is the per-attempt probability a message is lost in
+	// transit.
+	DropRate float64
+	// DelayRate is the probability a delivered attempt is slowed down.
+	DelayRate float64
+	// DelayFactor scales the extra delay: a slowed message takes
+	// (1+DelayFactor)×dist instead of dist. Zero defaults to 1.
+	DelayFactor float64
+	// CrashRate is the fraction of nodes that crash once during the
+	// horizon (rounded down; 0 disables crash windows).
+	CrashRate float64
+	// CrashSpan is each crash window's length as a fraction of the
+	// horizon. Zero defaults to 0.15.
+	CrashSpan float64
+	// Horizon is the simulated-time span crash windows are placed in;
+	// required when CrashRate > 0.
+	Horizon float64
+	// MaxAttempts bounds per-message retransmissions before the delivery
+	// fails with a *DeliveryError. Zero defaults to 8.
+	MaxAttempts int
+	// BackoffBase is the first retry's backoff in simulated time units;
+	// attempt k backs off BackoffBase×2^(k-1). Zero defaults to 1.
+	BackoffBase float64
+}
+
+func (c *Config) fill() {
+	if c.DelayFactor <= 0 {
+		c.DelayFactor = 1
+	}
+	if c.CrashSpan <= 0 {
+		c.CrashSpan = 0.15
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 1
+	}
+}
+
+// Window is one node's crash window: the node is down in [From, To).
+type Window struct {
+	Node     graph.NodeID
+	From, To float64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the mixed output
+// (Steele et al.; the same mixer mobility.StreamSeed uses).
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Decision-kind salts, mixed into the hash so the drop and delay streams
+// of the same message attempt are independent.
+const (
+	kindDrop  = 0x5fa7
+	kindDelay = 0xd31a
+)
+
+// Plan is a deterministic fault plan over an n-node network. All methods
+// are pure (no internal state advances), so a Plan is safe for concurrent
+// use and replays identically.
+type Plan struct {
+	cfg     Config
+	h0      uint64
+	windows []Window // sorted by (Node, From)
+}
+
+// NewPlan derives the fault plan for an n-node network from cfg.
+func NewPlan(cfg Config, n int) *Plan {
+	cfg.fill()
+	p := &Plan{cfg: cfg, h0: splitmix64(uint64(cfg.Seed))}
+	crashes := int(cfg.CrashRate * float64(n))
+	if crashes > 0 && cfg.Horizon > 0 {
+		// The window schedule is the only seeded-rand use: it is built
+		// once in the constructor, so no decision depends on call order.
+		rng := rand.New(rand.NewSource(int64(splitmix64(p.h0 ^ 0xc4a54))))
+		perm := rng.Perm(n)
+		if crashes > n {
+			crashes = n
+		}
+		span := cfg.CrashSpan * cfg.Horizon
+		for i := 0; i < crashes; i++ {
+			start := rng.Float64() * (cfg.Horizon - span)
+			if start < 0 {
+				start = 0
+			}
+			p.windows = append(p.windows, Window{
+				Node: graph.NodeID(perm[i]),
+				From: start,
+				To:   start + span,
+			})
+		}
+		sort.Slice(p.windows, func(i, j int) bool {
+			if p.windows[i].Node != p.windows[j].Node {
+				return p.windows[i].Node < p.windows[j].Node
+			}
+			return p.windows[i].From < p.windows[j].From
+		})
+	}
+	return p
+}
+
+// Config returns the plan's (filled) configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Windows returns the crash schedule, sorted by (node, start).
+func (p *Plan) Windows() []Window {
+	return append([]Window(nil), p.windows...)
+}
+
+// CrashedAt reports whether node is inside a crash window at time t.
+// Negative times (substrates without a simulated clock) never match.
+func (p *Plan) CrashedAt(node graph.NodeID, t float64) bool {
+	if t < 0 {
+		return false
+	}
+	for _, w := range p.windows {
+		if w.Node == node && t >= w.From && t < w.To {
+			return true
+		}
+		if w.Node > node {
+			return false
+		}
+	}
+	return false
+}
+
+// roll hashes a decision key into [0, 1).
+func (p *Plan) roll(kind uint64, op uint64, hop, attempt int) float64 {
+	h := splitmix64(p.h0 ^ kind)
+	h = splitmix64(h ^ op)
+	h = splitmix64(h ^ uint64(int64(hop)))
+	h = splitmix64(h ^ uint64(int64(attempt)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// DropAttempt reports whether attempt `attempt` of message `hop` of
+// operation `op` is lost in transit.
+func (p *Plan) DropAttempt(op uint64, hop, attempt int) bool {
+	if p.cfg.DropRate <= 0 {
+		return false
+	}
+	return p.roll(kindDrop, op, hop, attempt) < p.cfg.DropRate
+}
+
+// ExtraDelay returns the additional travel time of a delivered attempt (0
+// for unslowed messages, DelayFactor×dist for slowed ones).
+func (p *Plan) ExtraDelay(op uint64, hop, attempt int, dist float64) float64 {
+	if p.cfg.DelayRate <= 0 {
+		return 0
+	}
+	if p.roll(kindDelay, op, hop, attempt) < p.cfg.DelayRate {
+		return p.cfg.DelayFactor * dist
+	}
+	return 0
+}
+
+// MaxAttempts returns the per-message retransmission bound.
+func (p *Plan) MaxAttempts() int { return p.cfg.MaxAttempts }
+
+// Backoff returns the simulated-time backoff after failed attempt k
+// (exponential: BackoffBase × 2^(k-1)).
+func (p *Plan) Backoff(attempt int) float64 {
+	b := p.cfg.BackoffBase
+	for k := 1; k < attempt; k++ {
+		b *= 2
+	}
+	return b
+}
+
+// DeliveryError is the typed failure surfaced when a message exhausts its
+// retransmission budget (a crashed or unreachable destination). Callers
+// match it with errors.As.
+type DeliveryError struct {
+	Op       uint64
+	Hop      int
+	Attempts int
+	Dest     graph.NodeID
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("chaos: delivery to node %d failed after %d attempts (op %d, hop %d)",
+		e.Dest, e.Attempts, e.Op, e.Hop)
+}

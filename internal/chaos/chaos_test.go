@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestChaosPlanDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.3, DelayRate: 0.2, CrashRate: 0.2, Horizon: 100}
+	a := NewPlan(cfg, 50)
+	b := NewPlan(cfg, 50)
+	differ := 0
+	for op := uint64(0); op < 40; op++ {
+		for hop := 0; hop < 8; hop++ {
+			if a.DropAttempt(op, hop, 1) != b.DropAttempt(op, hop, 1) {
+				t.Fatalf("equal plans disagree on drop(%d,%d)", op, hop)
+			}
+			if a.ExtraDelay(op, hop, 1, 2) != b.ExtraDelay(op, hop, 1, 2) {
+				t.Fatalf("equal plans disagree on delay(%d,%d)", op, hop)
+			}
+		}
+	}
+	aw, bw := a.Windows(), b.Windows()
+	if len(aw) != len(bw) || len(aw) != 10 {
+		t.Fatalf("windows %d vs %d, want 10 (CrashRate 0.2 of 50)", len(aw), len(bw))
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("window %d differs: %+v vs %+v", i, aw[i], bw[i])
+		}
+		if aw[i].From < 0 || aw[i].To > 100 || aw[i].To <= aw[i].From {
+			t.Fatalf("window %d out of horizon: %+v", i, aw[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := NewPlan(cfg2, 50)
+	for op := uint64(0); op < 40; op++ {
+		for hop := 0; hop < 8; hop++ {
+			if a.DropAttempt(op, hop, 1) != c.DropAttempt(op, hop, 1) {
+				differ++
+			}
+		}
+	}
+	if differ == 0 {
+		t.Fatal("distinct seeds produced identical drop streams")
+	}
+}
+
+func TestChaosDropRateEmpirical(t *testing.T) {
+	p := NewPlan(Config{Seed: 3, DropRate: 0.25}, 10)
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.DropAttempt(uint64(i), i%7, 1+i%3) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("empirical drop rate %.3f, want ≈0.25", got)
+	}
+}
+
+func TestChaosZeroConfigInjectsNothing(t *testing.T) {
+	p := NewPlan(Config{}, 20)
+	for i := 0; i < 500; i++ {
+		if p.DropAttempt(uint64(i), i, 1) {
+			t.Fatal("zero-value plan dropped a message")
+		}
+		if p.ExtraDelay(uint64(i), i, 1, 3) != 0 {
+			t.Fatal("zero-value plan delayed a message")
+		}
+	}
+	if len(p.Windows()) != 0 {
+		t.Fatal("zero-value plan scheduled crash windows")
+	}
+	if p.CrashedAt(0, 5) {
+		t.Fatal("zero-value plan crashed a node")
+	}
+}
+
+func TestChaosBackoffExponential(t *testing.T) {
+	p := NewPlan(Config{Seed: 1, BackoffBase: 2}, 4)
+	want := []float64{2, 4, 8, 16}
+	for k, w := range want {
+		if got := p.Backoff(k + 1); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", k+1, got, w)
+		}
+	}
+	if p.MaxAttempts() != 8 {
+		t.Fatalf("default MaxAttempts = %d, want 8", p.MaxAttempts())
+	}
+}
+
+func TestChaosCrashedAtRespectsWindowsAndClocklessTime(t *testing.T) {
+	p := NewPlan(Config{Seed: 11, CrashRate: 0.5, CrashSpan: 0.2, Horizon: 50}, 8)
+	ws := p.Windows()
+	if len(ws) != 4 {
+		t.Fatalf("want 4 windows, got %d", len(ws))
+	}
+	w := ws[0]
+	mid := (w.From + w.To) / 2
+	if !p.CrashedAt(w.Node, mid) {
+		t.Fatalf("node %d not crashed inside its window", w.Node)
+	}
+	if p.CrashedAt(w.Node, w.To+1) {
+		t.Fatal("node crashed after its window ended")
+	}
+	if p.CrashedAt(w.Node, -1) {
+		t.Fatal("clockless time (-1) matched a crash window")
+	}
+}
+
+func TestChaosTraceRenderSortedAndStable(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(Event{Kind: "drop", Op: 5, Hop: 2, Attempt: 1, Node: 3, At: 7.5})
+	tr.Record(Event{Kind: "delay", Op: 1, Hop: 0, Attempt: 1, Node: 9, At: 2, Amount: 1.5})
+	tr.Record(Event{Kind: "fail", Op: 5, Hop: 2, Attempt: 8, Node: 3, At: 40})
+	got := tr.Render()
+	want := "delay op=1 hop=0 attempt=1 dest=9 t=2 extra=1.5\n" +
+		"drop op=5 hop=2 attempt=1 dest=3 t=7.5\n" +
+		"fail op=5 hop=2 attempt=8 dest=3 t=40\n"
+	if got != want {
+		t.Fatalf("rendered trace:\n%s\nwant:\n%s", got, want)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestChaosInjectorRecordsAndFails(t *testing.T) {
+	inj := NewInjector(Config{Seed: 2, DropRate: 1}, 10)
+	drop, _ := inj.Attempt(1, 0, 1, 4, 2, 0)
+	if !drop {
+		t.Fatal("DropRate=1 did not drop")
+	}
+	err := inj.Fail(1, 0, inj.MaxAttempts(), 4, 9)
+	var de *DeliveryError
+	if !errors.As(err, &de) {
+		t.Fatalf("Fail returned %T, want *DeliveryError", err)
+	}
+	if de.Dest != 4 || de.Attempts != 8 {
+		t.Fatalf("DeliveryError = %+v", de)
+	}
+	if !strings.Contains(err.Error(), "node 4") {
+		t.Fatalf("error text %q", err)
+	}
+	if inj.Trace().Len() != 2 {
+		t.Fatalf("trace has %d events, want 2", inj.Trace().Len())
+	}
+	inj.DropForced(2, 1, 1, graph.NodeID(6))
+	evs := inj.Trace().Events()
+	if evs[len(evs)-1].Kind != "crash" || evs[len(evs)-1].At != -1 {
+		t.Fatalf("DropForced recorded %+v", evs[len(evs)-1])
+	}
+}

@@ -30,6 +30,13 @@ type CostMeter struct {
 	// paid when load balancing distributes entries (§5, Corollary 5.2).
 	LBRouteCost float64
 
+	// RecoveryCost is the message cost of fault recovery: re-stamping a
+	// damaged object's home chain after a station crash or a lost
+	// maintenance operation (the §7 fine-grained adaptability path). It is
+	// reported separately so fault-free cost ratios stay comparable.
+	RecoveryCost float64
+	RecoveryOps  int
+
 	// Per-operation ratio sums (mean-of-ratios). The aggregate ratios
 	// above weight operations by their optimal cost; the figure-style
 	// means below weight each operation equally, which is what exposes a
@@ -111,6 +118,8 @@ func (c *CostMeter) Add(o CostMeter) {
 	c.QueryOps += o.QueryOps
 	c.SpecialCost += o.SpecialCost
 	c.LBRouteCost += o.LBRouteCost
+	c.RecoveryCost += o.RecoveryCost
+	c.RecoveryOps += o.RecoveryOps
 	c.MaintRatioSum += o.MaintRatioSum
 	c.MaintRatioOps += o.MaintRatioOps
 	c.QueryRatioSum += o.QueryRatioSum

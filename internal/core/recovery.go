@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Fault recovery (the §7 adaptability path, fine-grained form): when a
+// station crashes, the entries it stored vanish. Rather than rebuilding the
+// whole directory, each damaged object's trail is re-stamped along the home
+// chain of its surviving ground-truth proxy — the same O(diameter) walk a
+// publish pays, amortized O(1) cluster updates in the paper's analysis.
+// Recovery message cost is metered separately (CostMeter.RecoveryCost) so
+// fault-free cost ratios stay comparable.
+
+// sortedSlotKeys returns the materialized slot keys in (level, key) order,
+// for deterministic sweeps over the slot map.
+func (d *Directory) sortedSlotKeys() []slotKey {
+	keys := make([]slotKey, 0, len(d.slots))
+	for k := range d.slots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].key < keys[j].key
+	})
+	return keys
+}
+
+// wipe erases every DL and SDL record of o. Deletions commute, so the sweep
+// order is irrelevant; callers re-stamp afterwards if the object lives on.
+func (d *Directory) wipe(o ObjectID) {
+	for _, s := range d.slots {
+		delete(s.dl, o)
+		delete(s.sdl, o)
+	}
+}
+
+// Unpublish removes object o from the directory: its trail is erased from
+// the root down to the proxy (charged as one recovery walk) and its
+// ground-truth record dropped. This is the "sensor leave / object retired"
+// half of §7 dynamics; re-introducing the object later is a fresh Publish.
+func (d *Directory) Unpublish(o ObjectID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.loc[o]; !ok {
+		return fmt.Errorf("core: object %d not published", o)
+	}
+	cost := 0.0
+	st := d.ov.Root()
+	pos := st.Host
+	for {
+		cost += d.m.Dist(pos, st.Host)
+		pos = st.Host
+		s, ok := d.peek(st)
+		if !ok {
+			break
+		}
+		e, has := s.dl[o]
+		if !has {
+			break
+		}
+		d.removeEntry(st, o)
+		if !e.hasChild {
+			break
+		}
+		st = e.child
+	}
+	d.wipe(o) // defensive: a damaged trail may have left detached entries
+	delete(d.loc, o)
+	delete(d.ver, o)
+	d.meter.RecoveryCost += cost
+	d.meter.RecoveryOps++
+	return nil
+}
+
+// DropHost models the crash of physical node n: every DL/SDL entry stored
+// at a station hosted on n is lost, and SDL shortcuts elsewhere that point
+// into n are invalidated. It returns the sorted IDs of the objects whose
+// directory state was damaged — the set a recovery pass must Repair once
+// the node is back (or that a rebuild must cover past the churn threshold).
+func (d *Directory) DropHost(n graph.NodeID) []ObjectID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	damaged := map[ObjectID]bool{}
+	for _, k := range d.sortedSlotKeys() {
+		s := d.slots[k]
+		if s.station.Host == n {
+			for o := range s.dl {
+				damaged[o] = true
+			}
+			for o := range s.sdl {
+				damaged[o] = true
+			}
+			s.dl = make(map[ObjectID]dlEntry)
+			s.sdl = make(map[ObjectID]sdlEntry)
+			continue
+		}
+		for o, se := range s.sdl {
+			if se.child.Host == n {
+				damaged[o] = true
+				delete(s.sdl, o)
+			}
+		}
+		for o, e := range s.dl {
+			if e.hasChild && e.child.Host == n {
+				damaged[o] = true
+			}
+		}
+	}
+	out := make([]ObjectID, 0, len(damaged))
+	for o := range damaged {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Repair re-establishes o's trail after crash damage: all surviving
+// fragments are wiped and the full home chain of the current ground-truth
+// proxy is re-stamped at the object's current version (the fine-grained §7
+// path — one object's chain, not a directory rebuild). The walk is charged
+// to RecoveryCost.
+func (d *Directory) Repair(o ObjectID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	proxy, ok := d.loc[o]
+	if !ok {
+		return fmt.Errorf("core: object %d not published", o)
+	}
+	d.wipe(o)
+	path := d.ov.DPath(proxy)
+	cost := 0.0
+	prev := path[0][0]
+	for l := 0; l < len(path); l++ {
+		for _, st := range path[l] {
+			cost += d.m.Dist(prev.Host, st.Host)
+			prev = st
+		}
+		cost += d.stampHome(proxy, path, l, o, d.ver[o])
+	}
+	d.meter.RecoveryCost += cost
+	d.meter.RecoveryOps++
+	return nil
+}
+
+// AbsorbMeter folds a previous directory's accumulated costs into this one,
+// preserving cost continuity across a full rebuild (the coarse §7 fallback
+// past the churn threshold).
+func (d *Directory) AbsorbMeter(m CostMeter) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.meter.Add(m)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func chaosConfig(workers int) ChaosConfig {
+	return ChaosConfig{Workers: workers}
+}
+
+// renderChaos concatenates every schedule's full fault traces and summary
+// line — the byte representation the replay contract pins.
+func renderChaos(res *ChaosResult) []byte {
+	var buf bytes.Buffer
+	PrintChaos(&buf, res)
+	for _, s := range res.Schedules {
+		fmt.Fprintf(&buf, "--- schedule %d sim\n%s--- schedule %d runtime\n%s", s.Index, s.SimTrace, s.Index, s.RunTrace)
+		fmt.Fprintf(&buf, "meter %+v\n", s.SimMeter)
+	}
+	return buf.Bytes()
+}
+
+// Golden chaos replay contract (mirrors TestGoldenParallelMatchesSequential):
+// the same (seed, rate) settings must yield byte-identical fault traces and
+// final meters for Workers=1 and Workers=4, and across reruns.
+func TestGoldenChaosReplay(t *testing.T) {
+	seq, err := RunChaos(chaosConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunChaos(chaosConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderChaos(seq), renderChaos(par)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Workers=1 and Workers=4 chaos runs diverged:\n--- sequential\n%s--- parallel\n%s", a, b)
+	}
+	par2, err := RunChaos(chaosConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, renderChaos(par2)) {
+		t.Fatal("two Workers=4 chaos runs diverged")
+	}
+}
+
+// A different BaseSeed must select a different (but reproducible) fault
+// schedule — the seed is a real input, not decoration.
+func TestGoldenChaosSeedSelectsSchedule(t *testing.T) {
+	a := chaosConfig(2)
+	b := chaosConfig(2)
+	b.BaseSeed = 1234
+	ra, err := RunChaos(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunChaos(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(renderChaos(ra), renderChaos(rb)) {
+		t.Fatal("BaseSeed=0 and BaseSeed=1234 produced identical chaos traces")
+	}
+}
+
+// The default chaos tier must actually exercise the recovery machinery:
+// some schedule loses operations and repairs trails, and every schedule
+// still ends consistent (RunChaos fails on any invariant violation).
+func TestChaosTierExercisesRecovery(t *testing.T) {
+	res, err := RunChaos(chaosConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost, repairs, faults := 0, 0, 0
+	for _, s := range res.Schedules {
+		lost += s.SimLost
+		repairs += s.SimMeter.RecoveryOps
+		faults += countLines(s.SimTrace) + countLines(s.RunTrace)
+		if s.RunCost <= 0 {
+			t.Fatalf("schedule %d: runtime accrued no cost", s.Index)
+		}
+	}
+	if faults == 0 {
+		t.Fatal("chaos tier injected no faults")
+	}
+	if lost == 0 || repairs == 0 {
+		t.Fatalf("chaos tier never exercised recovery (lost=%d repairs=%d); harshen the defaults", lost, repairs)
+	}
+}

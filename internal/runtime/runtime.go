@@ -15,7 +15,9 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/overlay"
@@ -49,6 +51,8 @@ const (
 
 type opState struct {
 	kind  opKind
+	id    uint64 // operation number; with hop it keys fault decisions
+	hop   int
 	o     core.ObjectID
 	path  overlay.Path
 	level int             // current level being processed
@@ -72,6 +76,7 @@ type Tracker struct {
 
 	inboxes []chan message
 	quit    chan struct{}
+	stopped sync.Once
 	loops   track.Group
 
 	// slots[n] is owned exclusively by node n's goroutine.
@@ -83,11 +88,33 @@ type Tracker struct {
 
 	costMu    sync.Mutex
 	totalCost float64
+
+	// Fault injection (nil without chaos): opSeq numbers operations, the
+	// injector decides per-attempt fates, crashed marks nodes explicitly
+	// downed via Crash (the runtime has no simulated clock, so chaos crash
+	// windows do not apply here), and simDelay accumulates the simulated
+	// time lost to backoffs and slow deliveries.
+	inj      *chaos.Injector
+	opSeq    atomic.Uint64
+	crashMu  sync.Mutex
+	crashed  []bool
+	delayMu  sync.Mutex
+	simDelay float64
 }
 
 // New starts a tracker: one goroutine per sensor node of the overlay's
 // graph. Call Stop when done.
 func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
+	return NewChaos(g, ov, nil)
+}
+
+// NewChaos starts a tracker whose message deliveries pass through the
+// given fault injector (nil behaves exactly like New). Dropped attempts
+// are retried up to the injector's MaxAttempts with exponential backoff
+// accounted in simulated time (no wall-clock sleeping); exhausting the
+// budget surfaces a typed *chaos.DeliveryError on the blocked operation
+// instead of hanging it.
+func NewChaos(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector) *Tracker {
 	t := &Tracker{
 		g:       g,
 		m:       ov.Metric(),
@@ -97,6 +124,8 @@ func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
 		slots:   make([]map[slotKey]*slotState, g.N()),
 		loc:     make(map[core.ObjectID]graph.NodeID),
 		objMu:   make(map[core.ObjectID]*sync.Mutex),
+		inj:     inj,
+		crashed: make([]bool, g.N()),
 	}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan message, 256)
@@ -110,9 +139,62 @@ func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
 }
 
 // Stop shuts down all node goroutines. Pending operations are abandoned.
+// Stop is idempotent and safe to call concurrently; every call blocks
+// until the loops have drained.
 func (t *Tracker) Stop() {
-	close(t.quit)
+	t.stopped.Do(func() { close(t.quit) })
 	t.loops.Wait()
+}
+
+// Crash marks node n as down: messages addressed to it are dropped (and
+// retried by senders) until Recover. Out-of-range nodes are ignored.
+// Crashing affects message delivery only; operations already executing at
+// the node finish (sensor radio down, CPU alive).
+func (t *Tracker) Crash(n graph.NodeID) {
+	t.setCrashed(n, true)
+}
+
+// Recover marks node n as up again.
+func (t *Tracker) Recover(n graph.NodeID) {
+	t.setCrashed(n, false)
+}
+
+func (t *Tracker) setCrashed(n graph.NodeID, down bool) {
+	if int(n) < 0 || int(n) >= len(t.crashed) {
+		return
+	}
+	t.crashMu.Lock()
+	t.crashed[n] = down
+	t.crashMu.Unlock()
+}
+
+func (t *Tracker) isCrashed(n graph.NodeID) bool {
+	t.crashMu.Lock()
+	defer t.crashMu.Unlock()
+	return t.crashed[n]
+}
+
+// SimulatedDelay returns the total simulated time spent in retransmission
+// backoffs and injected delivery delays (the runtime executes them
+// instantly — determinism forbids wall-clock sleeps — but accounts them).
+func (t *Tracker) SimulatedDelay() float64 {
+	t.delayMu.Lock()
+	defer t.delayMu.Unlock()
+	return t.simDelay
+}
+
+func (t *Tracker) addDelay(d float64) {
+	t.delayMu.Lock()
+	t.simDelay += d
+	t.delayMu.Unlock()
+}
+
+// FaultTrace returns the injector's fault trace (nil without chaos).
+func (t *Tracker) FaultTrace() *chaos.Trace {
+	if t.inj == nil {
+		return nil
+	}
+	return t.inj.Trace()
 }
 
 // Cost returns the total distance traveled by all messages so far.
@@ -142,14 +224,46 @@ func (t *Tracker) objLock(o core.ObjectID) *sync.Mutex {
 }
 
 // send routes a message from node `from` toward op processing at dest,
-// accounting the shortest-path distance (the cost model of §1.1).
+// accounting the shortest-path distance (the cost model of §1.1). With a
+// fault injector installed, each attempt's fate is a pure hash of the
+// message identity (op, hop, attempt): drops are retried after simulated
+// backoff (accounted, never slept) until MaxAttempts, then the operation
+// unblocks with a typed *chaos.DeliveryError instead of hanging.
 func (t *Tracker) send(from graph.NodeID, msg message) {
+	op := msg.op
 	d := t.m.Dist(from, msg.dest)
-	t.costMu.Lock()
-	t.totalCost += d
-	t.costMu.Unlock()
-	msg.op.cost += d
-	t.deliver(msg)
+	op.hop++
+	hop := op.hop
+	for attempt := 1; ; attempt++ {
+		t.costMu.Lock()
+		t.totalCost += d
+		t.costMu.Unlock()
+		op.cost += d
+		if t.inj == nil {
+			t.deliver(msg)
+			return
+		}
+		var drop bool
+		var extra float64
+		if t.isCrashed(msg.dest) {
+			t.inj.DropForced(op.id, hop, attempt, msg.dest)
+			drop = true
+		} else {
+			drop, extra = t.inj.Attempt(op.id, hop, attempt, msg.dest, d, -1)
+		}
+		if !drop {
+			if extra > 0 {
+				t.addDelay(extra)
+			}
+			t.deliver(msg)
+			return
+		}
+		if attempt >= t.inj.MaxAttempts() {
+			op.reply <- result{err: t.inj.Fail(op.id, hop, attempt, msg.dest, -1)}
+			return
+		}
+		t.addDelay(d + t.inj.Backoff(attempt))
+	}
 }
 
 // deliver forwards the message hop by hop to its destination inbox.
@@ -277,7 +391,7 @@ func (t *Tracker) Publish(o core.ObjectID, at graph.NodeID) error {
 	}
 	t.loc[o] = at
 	t.locMu.Unlock()
-	op := &opState{kind: opPublish, o: o, path: t.ov.DPath(at), reply: make(chan result, 1)}
+	op := &opState{kind: opPublish, id: t.opSeq.Add(1), o: o, path: t.ov.DPath(at), reply: make(chan result, 1)}
 	t.deliver(message{dest: at, op: op})
 	res := <-op.reply
 	return res.err
@@ -303,7 +417,7 @@ func (t *Tracker) Move(o core.ObjectID, to graph.NodeID) error {
 	}
 	t.loc[o] = to
 	t.locMu.Unlock()
-	op := &opState{kind: opInsertUp, o: o, path: t.ov.DPath(to), reply: make(chan result, 1)}
+	op := &opState{kind: opInsertUp, id: t.opSeq.Add(1), o: o, path: t.ov.DPath(to), reply: make(chan result, 1)}
 	// The bottom-level stamp happens at the new proxy itself.
 	t.deliver(message{dest: to, op: op})
 	res := <-op.reply
@@ -330,7 +444,7 @@ func (t *Tracker) Query(from graph.NodeID, o core.ObjectID) (graph.NodeID, float
 	mu := t.objLock(o)
 	mu.Lock()
 	defer mu.Unlock()
-	op := &opState{kind: opQueryUp, o: o, path: t.ov.DPath(from), reply: make(chan result, 1)}
+	op := &opState{kind: opQueryUp, id: t.opSeq.Add(1), o: o, path: t.ov.DPath(from), reply: make(chan result, 1)}
 	t.deliver(message{dest: from, op: op})
 	res := <-op.reply
 	return res.proxy, res.cost, res.err

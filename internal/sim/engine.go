@@ -23,6 +23,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/graph"
 )
 
 // event is a scheduled continuation.
@@ -58,6 +60,7 @@ type Engine struct {
 	events eventHeap
 	steps  int64
 	limit  int64
+	faults FaultInjector
 }
 
 // NewEngine returns an engine with the given step limit (a safety net
@@ -109,3 +112,82 @@ func (e *Engine) Pending() int { return e.events.Len() }
 
 // Steps returns the number of events processed so far.
 func (e *Engine) Steps() int64 { return e.steps }
+
+// FaultInjector decides the fate of message deliveries. It is satisfied by
+// chaos.Injector; sim does not import chaos so the simulator stays
+// fault-agnostic when no injector is installed.
+type FaultInjector interface {
+	// Attempt decides one delivery attempt: drop it (retry after backoff)
+	// or deliver it with extraDelay added to the travel time.
+	Attempt(op uint64, hop, attempt int, dest graph.NodeID, dist, now float64) (drop bool, extraDelay float64)
+	// MaxAttempts bounds retransmissions per message.
+	MaxAttempts() int
+	// Backoff returns the simulated-time wait after failed attempt k.
+	Backoff(attempt int) float64
+	// Fail builds the typed error surfaced when attempts are exhausted.
+	Fail(op uint64, hop, attempts int, dest graph.NodeID, now float64) error
+}
+
+// Delivery is one message send through the fault layer.
+type Delivery struct {
+	// Op and Hop identify the message within its operation (the logical
+	// key fault decisions hash).
+	Op  uint64
+	Hop int
+	// Dest is the destination node, Dist the travel distance (= fault-free
+	// travel time).
+	Dest graph.NodeID
+	Dist float64
+	// OnAttempt is invoked once per transmission attempt, before its fate
+	// is decided — the place to account retransmission cost.
+	OnAttempt func(attempt int)
+	// Fn runs at the destination when an attempt gets through.
+	Fn func()
+	// OnFail runs when MaxAttempts attempts all dropped. Nil panics the
+	// simulation (callers must handle failure when faults are installed).
+	OnFail func(err error)
+}
+
+// SetFaults installs a fault injector; nil restores fault-free delivery.
+func (e *Engine) SetFaults(f FaultInjector) { e.faults = f }
+
+// Deliver sends one message. Without an injector this is exactly
+// After(d.Dist, d.Fn) plus the OnAttempt(1) accounting callback, so
+// fault-free runs are byte-identical to the pre-chaos engine. With an
+// injector, dropped attempts are retried after the attempt's timeout
+// (Dist) plus exponential backoff, and exhausting the budget invokes
+// OnFail with the injector's typed error.
+func (e *Engine) Deliver(d Delivery) {
+	if e.faults == nil {
+		if d.OnAttempt != nil {
+			d.OnAttempt(1)
+		}
+		e.After(d.Dist, d.Fn)
+		return
+	}
+	e.deliverAttempt(d, 1)
+}
+
+func (e *Engine) deliverAttempt(d Delivery, attempt int) {
+	if d.OnAttempt != nil {
+		d.OnAttempt(attempt)
+	}
+	drop, extra := e.faults.Attempt(d.Op, d.Hop, attempt, d.Dest, d.Dist, e.now)
+	if !drop {
+		e.After(d.Dist+extra, d.Fn)
+		return
+	}
+	if attempt >= e.faults.MaxAttempts() {
+		err := e.faults.Fail(d.Op, d.Hop, attempt, d.Dest, e.now)
+		if d.OnFail == nil {
+			panic(fmt.Sprintf("sim: unhandled delivery failure: %v", err))
+		}
+		d.OnFail(err)
+		return
+	}
+	// The sender learns of the loss after the attempt's timeout (one
+	// travel time), then waits out the backoff before retransmitting.
+	e.After(d.Dist+e.faults.Backoff(attempt), func() {
+		e.deliverAttempt(d, attempt+1)
+	})
+}

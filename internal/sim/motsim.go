@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -101,6 +102,14 @@ type MOTSim struct {
 	meter   core.CostMeter
 	results []QueryResult
 	errs    []error
+
+	// nextOp numbers operations in issue order; fault decisions hash the
+	// (op, hop, attempt) identity, so numbering must be deterministic.
+	nextOp uint64
+	// lost records operations abandoned by the fault layer (delivery
+	// failures). Unlike errs these are expected under chaos and do not
+	// fail CheckInvariants; the repair path restores the trail instead.
+	lost []error
 }
 
 // NewMOT builds a concurrent simulator over ov, which must produce
@@ -136,6 +145,10 @@ func (s *MOTSim) Results() []QueryResult { return s.results }
 // Errors returns protocol errors observed during the run (always empty in a
 // correct execution).
 func (s *MOTSim) Errors() []error { return s.errs }
+
+// Lost returns the operations the fault layer failed (delivery budgets
+// exhausted). Empty without an installed FaultInjector.
+func (s *MOTSim) Lost() []error { return s.lost }
 
 // Location returns the ground-truth proxy of o.
 func (s *MOTSim) Location(o core.ObjectID) (graph.NodeID, bool) {
@@ -215,6 +228,8 @@ func (s *MOTSim) removeSDL(sp, child overlay.Station, o core.ObjectID) {
 // --- maintenance -----------------------------------------------------
 
 type moveOp struct {
+	id       uint64
+	hop      int
 	o        core.ObjectID
 	ver      uint64
 	from, to graph.NodeID
@@ -222,6 +237,22 @@ type moveOp struct {
 	pos      graph.NodeID
 	cost     float64
 	optimal  float64
+}
+
+// send routes one message of a maintenance operation through the fault
+// layer; each transmission attempt (including retries) costs one travel.
+func (s *MOTSim) send(op *moveOp, dest graph.NodeID, fn func()) {
+	d := s.m.Dist(op.pos, dest)
+	op.hop++
+	s.eng.Deliver(Delivery{
+		Op:        op.id,
+		Hop:       op.hop,
+		Dest:      dest,
+		Dist:      d,
+		OnAttempt: func(int) { op.cost += d },
+		Fn:        fn,
+		OnFail:    func(err error) { s.abortMove(op, err) },
+	})
 }
 
 // IssueMove schedules a maintenance operation at time at. The object's
@@ -239,7 +270,8 @@ func (s *MOTSim) IssueMove(o core.ObjectID, to graph.NodeID, at float64) error {
 		}
 		s.loc[o] = to
 		s.ver[o]++
-		op := &moveOp{o: o, ver: s.ver[o], from: from, to: to, path: s.ov.DPath(to), pos: to,
+		s.nextOp++
+		op := &moveOp{id: s.nextOp, o: o, ver: s.ver[o], from: from, to: to, path: s.ov.DPath(to), pos: to,
 			optimal: s.m.Dist(from, to)}
 		s.queue[o] = append(s.queue[o], op)
 		s.pump(o)
@@ -269,9 +301,7 @@ func (s *MOTSim) enterLevel(op *moveOp, k int) {
 	}
 	proceed := func() {
 		st := op.path[k][0]
-		d := s.m.Dist(op.pos, st.Host)
-		op.cost += d
-		s.eng.After(d, func() { s.arriveLevel(op, k) })
+		s.send(op, st.Host, func() { s.arriveLevel(op, k) })
 	}
 	if s.cfg.PeriodSync {
 		phi := math.Pow(2, float64(k)) * s.cfg.PhiBase
@@ -308,9 +338,7 @@ func (s *MOTSim) arriveLevel(op *moveOp, k int) {
 
 // deleteStep travels to the next station of the old trail and erases it.
 func (s *MOTSim) deleteStep(op *moveOp, target overlay.Station) {
-	d := s.m.Dist(op.pos, target.Host)
-	op.cost += d
-	s.eng.After(d, func() {
+	s.send(op, target.Host, func() {
 		op.pos = target.Host
 		sl := s.slot(target)
 		e, ok := sl.dl[op.o]
@@ -343,6 +371,62 @@ func (s *MOTSim) finishMove(op *moveOp) {
 	s.pump(op.o)
 }
 
+// abortMove handles a maintenance message that exhausted its delivery
+// budget: the move is recorded as lost, its travel so far is charged to
+// recovery (not the maintenance ratio), and the object's trail is rebuilt
+// from the ground truth so invariants hold at quiescence.
+func (s *MOTSim) abortMove(op *moveOp, err error) {
+	s.lost = append(s.lost, fmt.Errorf("sim: move %d/%d lost: %w", op.o, op.ver, err))
+	s.meter.RecoveryCost += op.cost
+	s.repair(op.o, op.ver)
+	s.active[op.o] = false
+	s.pump(op.o)
+}
+
+// repair re-establishes o's trail after a failed operation left it in an
+// unknown intermediate state: every entry of o is wiped and the full home
+// chain of the current ground-truth proxy is re-stamped with the failed
+// operation's version (the §7 fine-grained path — rebuild one object's
+// chain, not the directory). Queries parked at stale proxies are released
+// toward the repaired proxy.
+func (s *MOTSim) repair(o core.ObjectID, ver uint64) {
+	keys := make([]slotKey, 0, len(s.slots))
+	for k := range s.slots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].key < keys[j].key
+	})
+	for _, k := range keys {
+		sl := s.slots[k]
+		delete(sl.dl, o)
+		delete(sl.sdl, o)
+		delete(sl.fwd, o)
+	}
+	proxy := s.loc[o]
+	path := s.ov.DPath(proxy)
+	cost := 0.0
+	prev := path[0][0]
+	for l := 0; l < len(path); l++ {
+		st := path[l][0]
+		cost += s.m.Dist(prev.Host, st.Host)
+		prev = st
+		s.stamp(path, l, o, ver)
+	}
+	s.meter.RecoveryCost += cost
+	s.meter.RecoveryOps++
+	// Release every query parked on o, in deterministic slot order; they
+	// chase the repaired proxy (and re-anchor if the object moves again).
+	for _, k := range keys {
+		if byObj, ok := s.waiters[k]; ok && len(byObj[o]) > 0 {
+			s.resolveWaiters(s.slots[k].station, o, proxy)
+		}
+	}
+}
+
 func (s *MOTSim) resolveWaiters(st overlay.Station, o core.ObjectID, newProxy graph.NodeID) {
 	k := slotKey{st.Level, st.Key}
 	if byObj, ok := s.waiters[k]; ok {
@@ -357,6 +441,8 @@ func (s *MOTSim) resolveWaiters(st overlay.Station, o core.ObjectID, newProxy gr
 // --- queries ----------------------------------------------------------
 
 type queryOp struct {
+	id       uint64
+	hop      int
 	origin   graph.NodeID
 	o        core.ObjectID
 	pos      graph.NodeID
@@ -367,13 +453,32 @@ type queryOp struct {
 	lastSlot *simSlot // slot where the trail last broke (for redirects)
 }
 
+// qsend routes one query message through the fault layer.
+func (s *MOTSim) qsend(q *queryOp, dest graph.NodeID, fn func()) {
+	d := s.m.Dist(q.pos, dest)
+	q.hop++
+	s.eng.Deliver(Delivery{
+		Op:        q.id,
+		Hop:       q.hop,
+		Dest:      dest,
+		Dist:      d,
+		OnAttempt: func(int) { q.cost += d },
+		Fn:        fn,
+		OnFail: func(err error) {
+			s.lost = append(s.lost, fmt.Errorf("sim: query for %d from %d lost: %w", q.o, q.origin, err))
+			s.meter.RecoveryCost += q.cost
+		},
+	})
+}
+
 // IssueQuery schedules a query from origin for o at time at.
 func (s *MOTSim) IssueQuery(origin graph.NodeID, o core.ObjectID, at float64) error {
 	if _, ok := s.loc[o]; !ok {
 		return fmt.Errorf("sim: object %d not published", o)
 	}
 	s.eng.At(at, func() {
-		q := &queryOp{origin: origin, o: o, pos: origin}
+		s.nextOp++
+		q := &queryOp{id: s.nextOp, origin: origin, o: o, pos: origin}
 		q.optimal = s.m.Dist(origin, s.loc[o])
 		s.climb(q, s.ov.DPath(origin), 0)
 	})
@@ -388,9 +493,7 @@ func (s *MOTSim) climb(q *queryOp, path overlay.Path, k int) {
 		return
 	}
 	st := path[k][0]
-	d := s.m.Dist(q.pos, st.Host)
-	q.cost += d
-	s.eng.After(d, func() {
+	s.qsend(q, st.Host, func() {
 		q.pos = st.Host
 		sl := s.slot(st)
 		if _, ok := sl.dl[q.o]; ok {
@@ -407,9 +510,7 @@ func (s *MOTSim) climb(q *queryOp, path overlay.Path, k int) {
 
 // hopTo travels to a station believed to hold the object and descends.
 func (s *MOTSim) hopTo(q *queryOp, st overlay.Station) {
-	d := s.m.Dist(q.pos, st.Host)
-	q.cost += d
-	s.eng.After(d, func() {
+	s.qsend(q, st.Host, func() {
 		q.pos = st.Host
 		if sl := s.slot(st); true {
 			if _, ok := sl.dl[q.o]; !ok {
@@ -450,9 +551,7 @@ func (s *MOTSim) descend(q *queryOp, st overlay.Station) {
 		return
 	}
 	next := e.child
-	d := s.m.Dist(q.pos, next.Host)
-	q.cost += d
-	s.eng.After(d, func() {
+	s.qsend(q, next.Host, func() {
 		q.pos = next.Host
 		s.descend(q, next)
 	})
@@ -463,9 +562,7 @@ func (s *MOTSim) descend(q *queryOp, st overlay.Station) {
 // query re-anchors at this proxy's bottom-level slot — whose own tombstone
 // (if the next delete already passed) chains the chase forward.
 func (s *MOTSim) chase(q *queryOp, proxy graph.NodeID) {
-	d := s.m.Dist(q.pos, proxy)
-	q.cost += d
-	s.eng.After(d, func() {
+	s.qsend(q, proxy, func() {
 		q.pos = proxy
 		if s.loc[q.o] == proxy {
 			s.complete(q, proxy)

@@ -94,3 +94,10 @@ func NewMetric(g *Graph) *Metric { return graph.NewMetric(g) }
 func RandomGeometricGraph(n int, side, radius float64, rng *rand.Rand) *Graph {
 	return graph.RandomGeometric(n, side, radius, rng)
 }
+
+// RandomTreeGraph returns a uniformly random labeled tree on n sensors with
+// unit-weight links — a pathological general-network input (high doubling
+// dimension at the root).
+func RandomTreeGraph(n int, rng *rand.Rand) *Graph {
+	return graph.RandomTree(n, rng)
+}

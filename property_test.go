@@ -89,6 +89,60 @@ func TestQuickConcurrentAlwaysSettles(t *testing.T) {
 	}
 }
 
+// Property: the invariant guarantees are topology-blind. Arbitrary seeded
+// Publish/Move/Query workloads on random-geometric deployments (the sensor
+// model) and uniformly random trees (a pathological general network) leave
+// the directory consistent, with every query answering the true proxy —
+// the existing property tests only ever exercised grids.
+func TestQuickInvariantsOnRandomTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, sizeIdx, topo uint8) bool {
+		n := 24 + int(sizeIdx)%17
+		rng := rand.New(rand.NewSource(seed))
+		var g *Graph
+		opt := Options{Seed: seed, SpecialParentOffset: 2}
+		if topo%2 == 0 {
+			g = RandomGeometricGraph(n, 10, 3.5, rng)
+		} else {
+			g = RandomTreeGraph(n, rng)
+			// Alternate the general-network overlay on trees.
+			opt.GeneralOverlay = topo%4 == 1
+		}
+		tr, err := NewTracker(g, opt)
+		if err != nil {
+			return false
+		}
+		const objs = 3
+		locs := make([]NodeID, objs)
+		for o := range locs {
+			locs[o] = NodeID(rng.Intn(g.N()))
+			if err := tr.Publish(ObjectID(o), locs[o]); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < 50; i++ {
+			o := rng.Intn(objs)
+			nbrs := g.NeighborIDs(locs[o])
+			locs[o] = nbrs[rng.Intn(len(nbrs))]
+			if err := tr.Move(ObjectID(o), locs[o]); err != nil {
+				return false
+			}
+		}
+		for o := range locs {
+			got, cost, err := tr.Query(NodeID(rng.Intn(g.N())), ObjectID(o))
+			if err != nil || got != locs[o] || cost < 0 {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 14}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // The theoretical special-parent offset (sigma = 3*rho+6) on a deep
 // hierarchy: path graphs have rho ~= 1, so sigma lands inside the
 // hierarchy and SDL shortcuts actually register.

@@ -2,6 +2,7 @@ package mot
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -42,6 +43,13 @@ type Options struct {
 	CountLBRouteCost bool
 	// CountReply adds the result-return message to query costs.
 	CountReply bool
+	// Chaos enables deterministic fault injection. On a Distributed
+	// tracker it installs drop/delay faults on every message (crashes are
+	// driven explicitly via Crash/Recover); on the sequential Tracker,
+	// whose operations are instantaneous, it configures the recovery
+	// policy (ChurnThreshold) for FailNode/RecoverNode. Nil disables
+	// faults entirely.
+	Chaos *ChaosConfig
 }
 
 // Tracker is the public handle to a MOT directory over a sensor network:
@@ -52,6 +60,16 @@ type Tracker struct {
 	m   *Metric
 	ov  overlay.Overlay
 	dir *core.Directory
+
+	// opt and cfg are retained for the §7 rebuild fallback (chaos.go).
+	opt Options
+	cfg core.Config
+
+	// chaosMu guards the fault-recovery bookkeeping in chaos.go.
+	chaosMu sync.Mutex
+	failed  map[NodeID]bool
+	damaged map[ObjectID]bool
+	churn   int
 }
 
 // NewTracker builds the overlay over g (which must be connected) and an
@@ -90,7 +108,7 @@ func NewTrackerWithMetric(g *Graph, m *Metric, opt Options) (*Tracker, error) {
 	if opt.LoadBalance {
 		cfg.Placement = lb.New(ov)
 	}
-	return &Tracker{g: g, m: m, ov: ov, dir: core.New(ov, cfg)}, nil
+	return &Tracker{g: g, m: m, ov: ov, dir: core.New(ov, cfg), opt: opt, cfg: cfg}, nil
 }
 
 // Graph returns the underlying network.
