@@ -11,7 +11,10 @@
 #                  invariants asserted at quiescence and golden fault-trace
 #                  replay checks
 #   make cover   — full-suite coverage, failing below COVER_MIN%
-#   make bench   — the per-figure benchmarks plus the sweep-worker timing
+#   make bench   — every benchmark once (-benchtime=1x): the per-figure
+#                  benches, the sweep-worker timing, and the observability
+#                  nil-sink/enabled ablations; part of make check so the
+#                  bench harnesses can never bit-rot
 #
 # The -race and chaos tiers are intentionally short: they run only the
 # tests that exercise real concurrency and fault injection in the packages
@@ -31,7 +34,7 @@ COVER_MIN = 75
 
 .PHONY: check fmt vet build test race chaos lint cover bench
 
-check: fmt vet build test race chaos lint
+check: fmt vet build test race chaos bench lint
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -67,4 +70,4 @@ cover:
 	fi
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

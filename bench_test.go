@@ -231,6 +231,48 @@ func BenchmarkAblationPeriodSync(b *testing.B) {
 	}
 }
 
+// Observability off versus on over the same replay — the nil-sink
+// ablation. "off" replays with Options.Obs nil, so every instrumented
+// path costs one pointer test; "on" records a span per operation plus the
+// per-node and per-level metrics. The off/on wall-clock delta is the full
+// price of tracing, and the "off" time must stay within noise of the
+// uninstrumented baseline above (BenchmarkAblationLoadBalance runs the
+// identical configuration).
+func BenchmarkAblationObservability(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := Grid(12, 12)
+			m := NewMetric(g)
+			w, err := GenerateWorkload(g, m, WorkloadConfig{Objects: 12, MovesPerObject: 80, Queries: 80, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rec *Recorder
+			for i := 0; i < b.N; i++ {
+				opt := Options{Seed: 7, SpecialParentOffset: 2, LoadBalance: true}
+				if on {
+					rec = NewRecorder("bench")
+					opt.Obs = rec
+				}
+				tr, err := NewTrackerWithMetric(g, m, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Replay(tr, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if on {
+				b.ReportMetric(float64(rec.SpanCount()), "spans")
+			}
+		})
+	}
+}
+
 // Publish cost scales with the diameter (Theorem 4.1).
 func BenchmarkPublishCost(b *testing.B) {
 	g := Grid(20, 20)

@@ -21,12 +21,27 @@
 // -chaos seed,rate runs the fault-injection tier instead of a figure:
 // seeded crash/drop/delay schedules on both execution substrates, with
 // recovery invariants asserted at quiescence. The printed summary is
-// byte-identical for a given (seed, rate) at any -workers value.
+// byte-identical for a given (seed, rate) at any -workers value; -format
+// md/csv selects the report renderer.
+//
+// -trace/-metrics/-chrome run the observability sweep instead of a
+// figure: one seeded workload replayed on the sequential core (load
+// balancing on and off), the discrete-event simulator, and the goroutine
+// runtime, each under a span/metrics recorder:
+//
+//	motsim -trace out.jsonl -metrics out.csv   # spans + metrics
+//	motsim -chrome trace.json                  # open in ui.perfetto.dev
+//	motsim -trace out.jsonl -obs-size 256 -obs-seed 3
+//
+// Artifacts are byte-identical for a given (-obs-size, -obs-seed) at any
+// -workers value; the §5 per-node load report prints to stdout. Without
+// any obs or chaos flag, motsim's figure output is unchanged.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,10 +51,55 @@ import (
 	"repro/internal/report"
 )
 
+// runObs runs the observability sweep (one seeded workload traced on the
+// sequential core with load balancing on and off, the discrete-event
+// simulator, and the goroutine runtime) and writes the requested
+// artifacts. All three formats are byte-deterministic for a given
+// (size, seed) at any -workers value.
+func runObs(trace, metrics, chrome string, size int, seed int64, workers int) {
+	res, err := experiments.RunObs(experiments.ObsConfig{
+		BaseSeed: seed,
+		Size:     size,
+		Workers:  workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: obs: %v\n", err)
+		os.Exit(1)
+	}
+	emit := func(path string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motsim: %v\n", err)
+			os.Exit(1)
+		}
+		werr := write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "motsim: writing %s: %v\n", path, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	emit(trace, res.WriteTraceJSONL)
+	emit(metrics, res.WriteMetricsCSV)
+	emit(chrome, res.WriteChromeTrace)
+	// The per-node load report (§5: balanced vs unbalanced placement)
+	// goes to stdout so the run leaves a human-readable headline.
+	if err := report.MarkdownObsLoad(os.Stdout, res, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: obs report: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 // runChaos parses "seed,rate" and runs the chaos tier with rate as the
 // message drop rate (0 selects the default mix); delay and crash rates
-// keep their tier defaults.
-func runChaos(spec string, workers int) {
+// keep their tier defaults. format picks the renderer (text, md, csv).
+func runChaos(spec string, workers int, format string) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 {
 		fmt.Fprintf(os.Stderr, "motsim: -chaos wants seed,rate (e.g. -chaos 1,0.15), got %q\n", spec)
@@ -64,7 +124,18 @@ func runChaos(spec string, workers int) {
 		fmt.Fprintf(os.Stderr, "motsim: chaos: %v\n", err)
 		os.Exit(1)
 	}
-	experiments.PrintChaos(os.Stdout, res)
+	switch format {
+	case "md":
+		err = report.MarkdownChaos(os.Stdout, res)
+	case "csv":
+		err = report.CSVChaos(os.Stdout, res)
+	default:
+		experiments.PrintChaos(os.Stdout, res)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: chaos report: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func main() {
@@ -73,12 +144,21 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md, or csv")
 	workers := flag.Int("workers", 0, "sweep worker pool size; 0 = one per CPU (output is identical for any value)")
 	chaosSpec := flag.String("chaos", "", "run the chaos tier as 'seed,rate' (e.g. 1,0.15) instead of a figure")
+	trace := flag.String("trace", "", "write an observability span trace (JSON lines) to this file")
+	metrics := flag.String("metrics", "", "write observability metrics (CSV) to this file")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	obsSize := flag.Int("obs-size", 256, "sensor count of the observability sweep (16x16 grid by default)")
+	obsSeed := flag.Int64("obs-seed", 0, "base seed of the observability sweep")
 	list := flag.Bool("list", false, "list available figures and exit")
 	quiet := flag.Bool("quiet", false, "suppress the per-figure wall-clock summary")
 	flag.Parse()
 
 	if *chaosSpec != "" {
-		runChaos(*chaosSpec, *workers)
+		runChaos(*chaosSpec, *workers, *format)
+		return
+	}
+	if *trace != "" || *metrics != "" || *chrome != "" {
+		runObs(*trace, *metrics, *chrome, *obsSize, *obsSeed, *workers)
 		return
 	}
 

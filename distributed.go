@@ -41,8 +41,22 @@ func NewDistributed(g *Graph, opt Options) (*Distributed, error) {
 			MaxAttempts: c.MaxAttempts,
 		}, g.N())
 	}
-	return &Distributed{tr: runtime.NewChaos(g, hs, inj)}, nil
+	return &Distributed{tr: runtime.NewInstrumented(g, hs, inj, opt.Obs)}, nil
 }
+
+// ServeDebug starts the opt-in HTTP diagnostics endpoint (obs snapshot,
+// per-node load, expvar, pprof) on addr; "127.0.0.1:0" picks a free port.
+func (d *Distributed) ServeDebug(addr string) (*runtime.DebugServer, error) {
+	return d.tr.ServeDebug(addr)
+}
+
+// LoadByNode returns each sensor's stored entry count. Call only at
+// quiescence (no operations in flight).
+func (d *Distributed) LoadByNode() []int { return d.tr.LoadByNode() }
+
+// ObserveLoad snapshots LoadByNode into the recorder (Options.Obs) as the
+// node.entries series; a no-op without a recorder.
+func (d *Distributed) ObserveLoad() { d.tr.ObserveLoad() }
 
 // Crash marks sensor n as down: messages to it are dropped and retried
 // until Recover; operations whose retransmission budget runs out fail with

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 )
 
@@ -51,6 +52,10 @@ type Config struct {
 	// requester) to the query cost. The paper's query cost analysis covers
 	// the search walk; off by default.
 	CountReply bool
+	// Obs receives a span per operation plus per-node/per-level metrics.
+	// Nil (the default) disables observability; instrumented paths then
+	// pay one pointer test per hook (see internal/obs).
+	Obs *obs.Recorder
 }
 
 // slotKey identifies a directory slot: one station of the overlay.
@@ -99,6 +104,12 @@ type Directory struct {
 	ver   map[ObjectID]uint64       // move sequence numbers
 
 	meter CostMeter
+
+	// Observability state (see obs.go): operation counter, cumulative-cost
+	// logical clock, and the span of the operation in flight.
+	obsOp  uint64
+	obsNow float64
+	obsCur obs.Span
 }
 
 // New creates an empty directory over the overlay. Objects must be

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+)
+
+// TestMeterZeroOptimalRatios pins the degenerate-denominator contract:
+// cost accrued against a zero optimal yields ratio 0 (not NaN or Inf),
+// and zero-optimal queries count as operations without polluting either
+// ratio (a query issued at the proxy itself has optimum 0).
+func TestMeterZeroOptimalRatios(t *testing.T) {
+	var m CostMeter
+	m.MaintCost = 42 // cost with no optimal recorded
+	for _, r := range []float64{m.MaintRatio(), m.QueryRatio(), m.MaintMeanRatio(), m.QueryMeanRatio()} {
+		if r != 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("zero-optimal ratio = %v, want 0", r)
+		}
+	}
+
+	m = CostMeter{}
+	m.AddQuerySample(5, 0) // at-proxy query: an op, but ratio-free
+	if m.QueryOps != 1 {
+		t.Fatalf("QueryOps = %d, want 1", m.QueryOps)
+	}
+	if m.QueryCost != 0 || m.QueryOptimal != 0 || m.QueryRatioOps != 0 {
+		t.Fatalf("zero-optimal query leaked into ratios: %+v", m)
+	}
+	m.AddMaintSample(3, 0) // free move (same proxy): op counted, no ratio
+	if m.MaintOps != 1 || m.MaintRatioOps != 0 {
+		t.Fatalf("zero-optimal move bookkeeping: %+v", m)
+	}
+	if m.MaintCost != 3 {
+		t.Fatalf("maintenance cost must still accrue: %+v", m)
+	}
+}
+
+// randMeter fills every numeric field of a CostMeter from rng — by
+// reflection, so a field added to the struct later is automatically
+// covered.
+func randMeter(t *testing.T, rng *rand.Rand) CostMeter {
+	t.Helper()
+	var m CostMeter
+	v := reflect.ValueOf(&m).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Float64:
+			f.SetFloat(float64(rng.Intn(1000)) / 4)
+		case reflect.Int:
+			f.SetInt(int64(rng.Intn(100)))
+		default:
+			t.Fatalf("unhandled CostMeter field kind %v", f.Kind())
+		}
+	}
+	return m
+}
+
+// TestMeterAddFieldByField is the quick-check-style merge identity: for
+// random meters a, b, (a.Add(b)) equals the field-wise sum of a and b on
+// EVERY field. Because the check enumerates fields by reflection, adding
+// a field to CostMeter without extending Add (making that cost silently
+// droppable in merged sweeps) fails this test.
+func TestMeterAddFieldByField(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a := randMeter(t, rng)
+		b := randMeter(t, rng)
+		got := a
+		got.Add(b)
+		va, vb, vg := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(got)
+		for i := 0; i < va.NumField(); i++ {
+			name := va.Type().Field(i).Name
+			switch va.Field(i).Kind() {
+			case reflect.Float64:
+				want := va.Field(i).Float() + vb.Field(i).Float()
+				if vg.Field(i).Float() != want {
+					t.Fatalf("trial %d: Add dropped %s: got %v want %v", trial, name, vg.Field(i).Float(), want)
+				}
+			case reflect.Int:
+				want := va.Field(i).Int() + vb.Field(i).Int()
+				if vg.Field(i).Int() != want {
+					t.Fatalf("trial %d: Add dropped %s: got %v want %v", trial, name, vg.Field(i).Int(), want)
+				}
+			}
+		}
+	}
+}
+
+// TestAbsorbMeterMatchesAdd checks the §7 rebuild path folds costs
+// exactly like CostMeter.Add — no field treated specially.
+func TestAbsorbMeterMatchesAdd(t *testing.T) {
+	g := graph.Grid(3, 3)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(hs, Config{})
+	if err := d.Publish(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Meter()
+	prev := randMeter(t, rand.New(rand.NewSource(9)))
+	d.AbsorbMeter(prev)
+	want := base
+	want.Add(prev)
+	if d.Meter() != want {
+		t.Fatalf("AbsorbMeter = %+v, want %+v", d.Meter(), want)
+	}
+}
+
+// TestMeanOfRatiosVsRatioOfMeans pins the divergence the figures hinge
+// on: the aggregate ratio weights operations by optimal cost, the mean
+// ratio weights them equally. A workload of one long cheap-relative move
+// (cost 100 over optimal 100) and one short expensive-relative move
+// (cost 10 over optimal 1) makes the two metrics disagree by a factor
+// of five — exactly why distance-insensitive baselines look fine in
+// aggregate but poor per operation.
+func TestMeanOfRatiosVsRatioOfMeans(t *testing.T) {
+	var m CostMeter
+	m.AddMaintSample(100, 100)
+	m.AddMaintSample(10, 1)
+	agg := m.MaintRatio()      // 110/101
+	mean := m.MaintMeanRatio() // (1.0 + 10.0)/2
+	if math.Abs(agg-110.0/101.0) > 1e-12 {
+		t.Fatalf("aggregate ratio = %v, want %v", agg, 110.0/101.0)
+	}
+	if math.Abs(mean-5.5) > 1e-12 {
+		t.Fatalf("mean ratio = %v, want 5.5", mean)
+	}
+	if mean <= agg {
+		t.Fatalf("crafted workload must diverge: mean %v <= agg %v", mean, agg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 )
 
@@ -25,20 +26,25 @@ func (d *Directory) Publish(o ObjectID, at graph.NodeID) error {
 	if cur, ok := d.loc[o]; ok {
 		return fmt.Errorf("core: object %d already published at node %d", o, cur)
 	}
+	d.obsStart(obs.OpPublish, o)
 	path := d.ov.DPath(at)
 	cost := 0.0
 	prev := path[0][0]
 	for l := 0; l < len(path); l++ {
+		lvl := cost
 		for _, st := range path[l] {
 			cost += d.m.Dist(prev.Host, st.Host)
 			prev = st
+			d.obsVisit(st)
 		}
+		d.obsEvent(obs.EvHop, l, prev.Host, cost-lvl)
 		cost += d.stampHome(at, path, l, o, 0)
 	}
 	d.loc[o] = at
 	d.ver[o] = 0
 	d.meter.PublishCost += cost
 	d.meter.PublishOps++
+	d.obsFinish(cost)
 	return nil
 }
 
@@ -59,6 +65,7 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	}
 	d.ver[o]++
 	ver := d.ver[o]
+	d.obsStart(obs.OpMove, o)
 	path := d.ov.DPath(to)
 	cost := 0.0
 	prev := path[0][0]
@@ -68,19 +75,23 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	var oldEntry dlEntry
 	found := false
 	for l := 1; l < len(path) && !found; l++ {
+		lvl := cost
 		for _, st := range path[l] {
 			cost += d.m.Dist(prev.Host, st.Host)
 			prev = st
+			d.obsVisit(st)
 			if found {
 				continue
 			}
 			if s, ok := d.peek(st); ok {
 				if e, has := s.dl[o]; has {
 					found, peak, oldEntry = true, st, e
+					d.obsEvent(obs.EvPeak, st.Level, st.Host, 0)
 					cost += d.touch(st, o) // read the distributed entry
 				}
 			}
 		}
+		d.obsEvent(obs.EvHop, l, prev.Host, cost-lvl)
 		if !found {
 			cost += d.stampHome(to, path, l, o, ver)
 		}
@@ -103,6 +114,7 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	for {
 		cost += d.m.Dist(pos, cur.Host)
 		pos = cur.Host
+		d.obsVisit(cur)
 		cost += d.touch(cur, o)
 		s, ok := d.peek(cur)
 		if !ok {
@@ -121,6 +133,7 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 
 	d.loc[o] = to
 	d.meter.AddMaintSample(cost, d.m.Dist(from, to))
+	d.obsFinish(cost)
 	return nil
 }
 
@@ -152,6 +165,7 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 	if !ok {
 		return graph.Undefined, QueryTrace{}, fmt.Errorf("core: object %d not published", o)
 	}
+	d.obsStart(obs.OpQuery, o)
 	path := d.ov.DPath(from)
 	cost := 0.0
 	prev := path[0][0]
@@ -159,24 +173,30 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 	var hitDL, hitSDL bool
 	var at, sdlChild overlay.Station
 	for l := 0; l < len(path) && !hitDL && !hitSDL; l++ {
+		lvl := cost
 		for _, st := range path[l] {
 			cost += d.m.Dist(prev.Host, st.Host)
 			prev = st
+			d.obsVisit(st)
 			if hitDL || hitSDL {
 				continue
 			}
 			if s, ok := d.peek(st); ok {
 				if _, has := s.dl[o]; has {
 					hitDL, at = true, st
+					d.obsEvent(obs.EvPeak, st.Level, st.Host, 0)
 					cost += d.touch(st, o) // read the distributed entry
 				} else if se, has := s.sdl[o]; has {
 					hitSDL, at, sdlChild = true, st, se.child
+					d.obsEvent(obs.EvSDL, st.Level, st.Host, 0)
 					cost += d.touch(st, o)
 				}
 			}
 		}
+		d.obsEvent(obs.EvHop, l, prev.Host, cost-lvl)
 	}
 	if !hitDL && !hitSDL {
+		d.obsFinish(cost)
 		return graph.Undefined, QueryTrace{Cost: cost}, fmt.Errorf("core: query for object %d found no trace up to the root", o)
 	}
 	trace := QueryTrace{HitLevel: at.Level, ViaSDL: hitSDL}
@@ -185,9 +205,11 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 	if hitSDL {
 		cost += d.m.Dist(cur.Host, sdlChild.Host)
 		cur = sdlChild
+		d.obsVisit(cur)
 		cost += d.touch(cur, o)
 		if !d.holds(cur, o) {
 			trace.Cost = cost
+			d.obsFinish(cost)
 			return graph.Undefined, trace, fmt.Errorf("core: stale SDL shortcut for object %d at %v", o, at)
 		}
 	}
@@ -196,11 +218,13 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 		s, ok := d.peek(cur)
 		if !ok {
 			trace.Cost = cost
+			d.obsFinish(cost)
 			return graph.Undefined, trace, fmt.Errorf("core: descent lost object %d at %v", o, cur)
 		}
 		e, has := s.dl[o]
 		if !has {
 			trace.Cost = cost
+			d.obsFinish(cost)
 			return graph.Undefined, trace, fmt.Errorf("core: descent lost object %d at %v", o, cur)
 		}
 		if !e.hasChild {
@@ -208,10 +232,12 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 		}
 		cost += d.m.Dist(cur.Host, e.child.Host)
 		cur = e.child
+		d.obsVisit(cur)
 		cost += d.touch(cur, o)
 	}
 	if cur.Host != proxy {
 		trace.Cost = cost
+		d.obsFinish(cost)
 		return graph.Undefined, trace, fmt.Errorf("core: query for object %d ended at %d, proxy is %d", o, cur.Host, proxy)
 	}
 	if d.cfg.CountReply {
@@ -219,6 +245,7 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 	}
 	trace.Cost = cost
 	d.meter.AddQuerySample(cost, d.m.Dist(from, proxy))
+	d.obsFinish(cost)
 	return proxy, trace, nil
 }
 
@@ -263,9 +290,11 @@ func (d *Directory) install(st overlay.Station, path overlay.Path, l int, o Obje
 		d.removeSDL(old.sp, st, o)
 	}
 	s.dl[o] = e
+	d.obsEvent(obs.EvStamp, l, st.Host, 0)
 	if spOK {
 		d.slot(sp).sdl[o] = sdlEntry{child: st, version: e.version}
 		d.addSpecialCost(d.m.Dist(st.Host, sp.Host))
+		d.obsEvent(obs.EvSDL, sp.Level, sp.Host, d.m.Dist(st.Host, sp.Host))
 	}
 	return d.touch(st, o)
 }
@@ -282,6 +311,7 @@ func (d *Directory) removeEntry(st overlay.Station, o ObjectID) {
 		return
 	}
 	delete(s.dl, o)
+	d.obsEvent(obs.EvWipe, st.Level, st.Host, 0)
 	if e.spOK {
 		d.removeSDL(e.sp, st, o)
 		d.addSpecialCost(d.m.Dist(st.Host, e.sp.Host))
@@ -312,6 +342,7 @@ func (d *Directory) touch(st overlay.Station, o ObjectID) float64 {
 	}
 	c := d.cfg.Placement.RouteCost(st, o)
 	d.meter.LBRouteCost += c
+	d.obsEvent(obs.EvLBRoute, st.Level, st.Host, c)
 	if !d.cfg.CountLBRouteCost {
 		return 0
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Fault recovery (the §7 adaptability path, fine-grained form): when a
@@ -50,12 +51,14 @@ func (d *Directory) Unpublish(o ObjectID) error {
 	if _, ok := d.loc[o]; !ok {
 		return fmt.Errorf("core: object %d not published", o)
 	}
+	d.obsStart(obs.OpRecovery, o)
 	cost := 0.0
 	st := d.ov.Root()
 	pos := st.Host
 	for {
 		cost += d.m.Dist(pos, st.Host)
 		pos = st.Host
+		d.obsVisit(st)
 		s, ok := d.peek(st)
 		if !ok {
 			break
@@ -70,11 +73,15 @@ func (d *Directory) Unpublish(o ObjectID) error {
 		}
 		st = e.child
 	}
+	// The trailing defensive wipe iterates the slot map, so it must stay
+	// silent — one aggregate event marks it instead.
+	d.obsEvent(obs.EvWipe, -1, pos, 0)
 	d.wipe(o) // defensive: a damaged trail may have left detached entries
 	delete(d.loc, o)
 	delete(d.ver, o)
 	d.meter.RecoveryCost += cost
 	d.meter.RecoveryOps++
+	d.obsFinish(cost)
 	return nil
 }
 
@@ -132,19 +139,27 @@ func (d *Directory) Repair(o ObjectID) error {
 	if !ok {
 		return fmt.Errorf("core: object %d not published", o)
 	}
+	d.obsStart(obs.OpRecovery, o)
+	// wipe iterates the slot map; mark it with one aggregate event rather
+	// than per-slot events whose order would track map iteration.
+	d.obsEvent(obs.EvWipe, -1, proxy, 0)
 	d.wipe(o)
 	path := d.ov.DPath(proxy)
 	cost := 0.0
 	prev := path[0][0]
 	for l := 0; l < len(path); l++ {
+		lvl := cost
 		for _, st := range path[l] {
 			cost += d.m.Dist(prev.Host, st.Host)
 			prev = st
+			d.obsVisit(st)
 		}
+		d.obsEvent(obs.EvHop, l, prev.Host, cost-lvl)
 		cost += d.stampHome(proxy, path, l, o, d.ver[o])
 	}
 	d.meter.RecoveryCost += cost
 	d.meter.RecoveryOps++
+	d.obsFinish(cost)
 	return nil
 }
 

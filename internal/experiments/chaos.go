@@ -94,6 +94,14 @@ type ChaosSchedule struct {
 	RunFailed int     // operations failed with a *chaos.DeliveryError
 }
 
+// SimFaults returns the number of fault events injected into the
+// discrete-event simulator run (lines of the golden trace).
+func (s *ChaosSchedule) SimFaults() int { return countLines(s.SimTrace) }
+
+// RunFaults returns the number of fault events injected into the
+// goroutine-runtime run.
+func (s *ChaosSchedule) RunFaults() int { return countLines(s.RunTrace) }
+
 // ChaosResult is the full chaos tier outcome.
 type ChaosResult struct {
 	Config    ChaosConfig

@@ -104,6 +104,15 @@ type CostRatioResult struct {
 	Query           [][]float64
 	MaintenanceMean [][]float64
 	QueryMean       [][]float64
+
+	// Auxiliary traffic, averaged over seeds like the ratios above, so no
+	// metered cost is droppable in reports: SDL registration traffic,
+	// the §5 de Bruijn routing surcharge, and §7 recovery cost and
+	// operation counts (all zero for the fault-free baselines).
+	Special     [][]float64
+	LBRoute     [][]float64
+	Recovery    [][]float64
+	RecoveryOps [][]float64
 }
 
 // sweepCell is one independent unit of a cost-ratio sweep: a (size,
@@ -127,11 +136,19 @@ func RunCostRatio(cfg CostRatioConfig) (*CostRatioResult, error) {
 	res.Query = make([][]float64, len(Algorithms))
 	res.MaintenanceMean = make([][]float64, len(Algorithms))
 	res.QueryMean = make([][]float64, len(Algorithms))
+	res.Special = make([][]float64, len(Algorithms))
+	res.LBRoute = make([][]float64, len(Algorithms))
+	res.Recovery = make([][]float64, len(Algorithms))
+	res.RecoveryOps = make([][]float64, len(Algorithms))
 	for a := range Algorithms {
 		res.Maintenance[a] = make([]float64, len(cfg.Sizes))
 		res.Query[a] = make([]float64, len(cfg.Sizes))
 		res.MaintenanceMean[a] = make([]float64, len(cfg.Sizes))
 		res.QueryMean[a] = make([]float64, len(cfg.Sizes))
+		res.Special[a] = make([]float64, len(cfg.Sizes))
+		res.LBRoute[a] = make([]float64, len(cfg.Sizes))
+		res.Recovery[a] = make([]float64, len(cfg.Sizes))
+		res.RecoveryOps[a] = make([]float64, len(cfg.Sizes))
 	}
 
 	cells := make([]sweepCell, 0, len(cfg.Sizes)*cfg.Seeds)
@@ -154,6 +171,10 @@ func RunCostRatio(cfg CostRatioConfig) (*CostRatioResult, error) {
 			res.Query[a][c.si] += meters[ci][a].QueryRatio() / float64(cfg.Seeds)
 			res.MaintenanceMean[a][c.si] += meters[ci][a].MaintMeanRatio() / float64(cfg.Seeds)
 			res.QueryMean[a][c.si] += meters[ci][a].QueryMeanRatio() / float64(cfg.Seeds)
+			res.Special[a][c.si] += meters[ci][a].SpecialCost / float64(cfg.Seeds)
+			res.LBRoute[a][c.si] += meters[ci][a].LBRouteCost / float64(cfg.Seeds)
+			res.Recovery[a][c.si] += meters[ci][a].RecoveryCost / float64(cfg.Seeds)
+			res.RecoveryOps[a][c.si] += float64(meters[ci][a].RecoveryOps) / float64(cfg.Seeds)
 		}
 	}
 	return res, nil

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/lb"
+	"repro/internal/mobility"
+	"repro/internal/obs"
+	motruntime "repro/internal/runtime"
+	"repro/internal/runtime/track"
+	"repro/internal/sim"
+)
+
+// Observability run names, in report order. The four runs replay one
+// seeded workload on every substrate: the sequential core with §5 load
+// balancing on and off (the per-node load comparison), the discrete-event
+// simulator, and the goroutine runtime in sequential replay.
+const (
+	ObsRunCoreLB   = "core-lb"
+	ObsRunCoreNoLB = "core-nolb"
+	ObsRunSim      = "sim"
+	ObsRunRuntime  = "runtime"
+)
+
+// ObsRuns is the fixed run set of an observability sweep.
+var ObsRuns = []string{ObsRunCoreLB, ObsRunCoreNoLB, ObsRunSim, ObsRunRuntime}
+
+// ObsConfig parameterizes an observability sweep: one seeded workload
+// traced on all substrates.
+type ObsConfig struct {
+	// BaseSeed salts the shared workload stream; the sweep runs on
+	// mobility.StreamSeed(BaseSeed, Size, 0).
+	BaseSeed int64
+	// Size is the sensor count (a near-square grid).
+	Size int
+	// Objects / MovesPerObject / Queries shape the workload.
+	Objects        int
+	MovesPerObject int
+	Queries        int
+	// Workers bounds the pool running the four runs concurrently. Runs
+	// share nothing (each rebuilds grid, metric, workload, and hierarchy
+	// from the same seed), so any value yields byte-identical recorders.
+	Workers int
+}
+
+func (c *ObsConfig) fill() {
+	fillInt(&c.Size, 64)
+	fillInt(&c.Objects, 8)
+	fillInt(&c.MovesPerObject, 40)
+	fillInt(&c.Queries, 30)
+	fillWorkers(&c.Workers)
+}
+
+// ObsResult carries one recorder per run, in ObsRuns order. The Write
+// methods delegate to internal/obs's deterministic exporters, so equal
+// configs produce byte-identical artifacts at any worker count.
+type ObsResult struct {
+	Config    ObsConfig
+	Seed      int64
+	Recorders []*obs.Recorder
+}
+
+// WriteTraceJSONL writes every run's spans as sorted JSON lines.
+func (r *ObsResult) WriteTraceJSONL(w io.Writer) error {
+	return obs.WriteJSONLAll(w, r.Recorders...)
+}
+
+// WriteMetricsCSV writes every run's metrics as one CSV.
+func (r *ObsResult) WriteMetricsCSV(w io.Writer) error {
+	return obs.WriteMetricsCSVAll(w, r.Recorders...)
+}
+
+// WriteChromeTrace writes a Chrome trace-event JSON covering all runs.
+func (r *ObsResult) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, r.Recorders...)
+}
+
+// Recorder returns the named run's recorder (nil if absent).
+func (r *ObsResult) Recorder(name string) *obs.Recorder {
+	for _, rec := range r.Recorders {
+		if rec.Label() == name {
+			return rec
+		}
+	}
+	return nil
+}
+
+// RunObs traces one seeded workload on every substrate and returns the
+// recorders in ObsRuns order. Runs execute on cfg.Workers goroutines;
+// each run only ever touches its own recorder, so scheduling cannot leak
+// into the artifacts and Workers=N output is byte-identical to Workers=1.
+func RunObs(cfg ObsConfig) (*ObsResult, error) {
+	cfg.fill()
+	seed := mobility.StreamSeed(cfg.BaseSeed, cfg.Size, 0)
+	res := &ObsResult{Config: cfg, Seed: seed, Recorders: make([]*obs.Recorder, len(ObsRuns))}
+	errs := make([]error, len(ObsRuns))
+	workers := cfg.Workers
+	if workers > len(ObsRuns) {
+		workers = len(ObsRuns)
+	}
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var pool track.Group
+	for w := 0; w < workers; w++ {
+		pool.Go(func() {
+			for ri := range jobs {
+				if failed.Load() {
+					continue
+				}
+				rec, err := runObsOne(cfg, ObsRuns[ri], seed)
+				if err != nil {
+					errs[ri] = fmt.Errorf("experiments: obs run %s: %w", ObsRuns[ri], err)
+					failed.Store(true)
+					continue
+				}
+				res.Recorders[ri] = rec
+			}
+		})
+	}
+	for ri := range ObsRuns {
+		jobs <- ri
+	}
+	close(jobs)
+	pool.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runObsOne replays the seeded workload on one substrate under a fresh
+// recorder. Every run rebuilds its own grid, metric, workload, and
+// hierarchy from seed, so it is fully reproducible in isolation.
+func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, error) {
+	g := graph.NearSquareGrid(cfg.Size)
+	m := graph.NewMetric(g)
+	m.Precompute(0)
+	w, err := mobility.Generate(g, m, mobility.Config{
+		Objects:        cfg.Objects,
+		MovesPerObject: cfg.MovesPerObject,
+		Queries:        cfg.Queries,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs, err := hier.Build(g, m, hier.Config{Seed: seed, SpecialParentOffset: 2})
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.New(name)
+	switch name {
+	case ObsRunCoreLB, ObsRunCoreNoLB:
+		dcfg := core.Config{Obs: rec}
+		if name == ObsRunCoreLB {
+			dcfg.Placement = lb.New(hs)
+		}
+		d := core.New(hs, dcfg)
+		if err := replayCore(d, w); err != nil {
+			return nil, err
+		}
+		d.ObserveLoad(g.N())
+	case ObsRunSim:
+		eng := sim.NewEngine(0)
+		ms, err := sim.NewMOT(hs, eng, sim.Config{PeriodSync: true, Obs: rec})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Schedule(ms, w, sim.DriverConfig{Diameter: m.Diameter(), Seed: seed}); err != nil {
+			return nil, err
+		}
+		if err := eng.Run(); err != nil {
+			return nil, err
+		}
+	case ObsRunRuntime:
+		tr := motruntime.NewInstrumented(g, hs, nil, rec)
+		defer tr.Stop()
+		if err := replayRuntime(tr, w); err != nil {
+			return nil, err
+		}
+		tr.ObserveLoad()
+	default:
+		return nil, fmt.Errorf("unknown run %q", name)
+	}
+	return rec, nil
+}
+
+// replayCore drives the workload through a sequential directory.
+func replayCore(d *core.Directory, w *mobility.Workload) error {
+	for o, at := range w.Initial {
+		if err := d.Publish(core.ObjectID(o), at); err != nil {
+			return err
+		}
+	}
+	for _, mv := range w.Moves {
+		if err := d.Move(mv.Object, mv.To); err != nil {
+			return err
+		}
+	}
+	for _, q := range w.Queries {
+		if _, _, err := d.Query(q.From, q.Object); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayRuntime drives the workload through the goroutine runtime
+// sequentially: each operation completes before the next is issued, so
+// the recorder's cost clock (and with it the trace) is deterministic.
+func replayRuntime(tr *motruntime.Tracker, w *mobility.Workload) error {
+	for o, at := range w.Initial {
+		if err := tr.Publish(core.ObjectID(o), at); err != nil {
+			return err
+		}
+	}
+	for _, mv := range w.Moves {
+		if err := tr.Move(mv.Object, mv.To); err != nil {
+			return err
+		}
+	}
+	for _, q := range w.Queries {
+		if _, _, err := tr.Query(q.From, q.Object); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// obsArtifacts renders a result's trace and metrics to strings.
+func obsArtifacts(t *testing.T, res *ObsResult) (trace, metrics string) {
+	t.Helper()
+	var tb, mb strings.Builder
+	if err := res.WriteTraceJSONL(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteMetricsCSV(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), mb.String()
+}
+
+// dumpGoldenDiff writes mismatching artifacts for offline inspection (CI
+// uploads the obs-golden-diff directory when this test fails).
+func dumpGoldenDiff(t *testing.T, name, seq, par string) {
+	t.Helper()
+	dir := "obs-golden-diff"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("cannot create %s: %v", dir, err)
+		return
+	}
+	for suffix, data := range map[string]string{"-seq": seq, "-par": par} {
+		p := filepath.Join(dir, name+suffix+".txt")
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Logf("cannot write %s: %v", p, err)
+		}
+	}
+	t.Logf("dumped mismatching artifacts under %s/", dir)
+}
+
+// TestGoldenObsParallelMatchesSequential is the determinism contract of
+// the observability layer: the exported trace and metrics are
+// byte-identical whether the four runs execute on one worker or four.
+// Both sim and runtime substrates are covered by the run set.
+func TestGoldenObsParallelMatchesSequential(t *testing.T) {
+	cfg := ObsConfig{Size: 64, Objects: 6, MovesPerObject: 20, Queries: 15, BaseSeed: 7}
+
+	cfg.Workers = 1
+	seqRes, err := RunObs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parRes, err := RunObs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqTrace, seqMetrics := obsArtifacts(t, seqRes)
+	parTrace, parMetrics := obsArtifacts(t, parRes)
+	if seqTrace != parTrace {
+		dumpGoldenDiff(t, "trace", seqTrace, parTrace)
+		t.Error("trace JSONL differs between Workers=1 and Workers=4")
+	}
+	if seqMetrics != parMetrics {
+		dumpGoldenDiff(t, "metrics", seqMetrics, parMetrics)
+		t.Error("metrics CSV differs between Workers=1 and Workers=4")
+	}
+
+	// The run set must cover both live substrates plus the two core
+	// variants, each with recorded spans.
+	for _, name := range ObsRuns {
+		rec := seqRes.Recorder(name)
+		if rec == nil {
+			t.Fatalf("missing recorder %s", name)
+		}
+		if rec.SpanCount() == 0 {
+			t.Errorf("run %s recorded no spans", name)
+		}
+	}
+
+	// Chrome trace export must be deterministic too and carry every run.
+	var cb1, cb2 strings.Builder
+	if err := seqRes.WriteChromeTrace(&cb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := parRes.WriteChromeTrace(&cb2); err != nil {
+		t.Fatal(err)
+	}
+	if cb1.String() != cb2.String() {
+		t.Error("chrome trace differs between Workers=1 and Workers=4")
+	}
+	for _, name := range ObsRuns {
+		if !strings.Contains(cb1.String(), `"`+name+`"`) {
+			t.Errorf("chrome trace missing run %s", name)
+		}
+	}
+}
+
+// TestRunObsLoadSeries checks the §5 claim surfaces in the artifacts: the
+// load-balanced core run reports a strictly lower maximum per-node
+// storage load than the unbalanced one on the same workload.
+func TestRunObsLoadSeries(t *testing.T) {
+	res, err := RunObs(ObsConfig{Size: 256, Objects: 24, MovesPerObject: 10, Queries: 5, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbVals := res.Recorder(ObsRunCoreLB).SeriesValues(obs.SeriesNodeEntries)
+	noVals := res.Recorder(ObsRunCoreNoLB).SeriesValues(obs.SeriesNodeEntries)
+	if len(lbVals) != 256 || len(noVals) != 256 {
+		t.Fatalf("series lengths = %d, %d; want 256", len(lbVals), len(noVals))
+	}
+	maxOf := func(vs []float64) float64 {
+		m := 0.0
+		for _, v := range vs {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxOf(lbVals) >= maxOf(noVals) {
+		t.Errorf("load balancing did not lower max load: lb=%v nolb=%v", maxOf(lbVals), maxOf(noVals))
+	}
+}

@@ -1,6 +1,10 @@
 package lint
 
-import "strings"
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+)
 
 // Config carries the per-rule allowlists. Paths are import-path prefixes
 // (a prefix matches the package itself and everything below it). The
@@ -36,6 +40,13 @@ type Config struct {
 	// its convenience entry points.
 	PrintAllowed []string
 
+	// PrintAllowedFiles waives printlib for single files, named as
+	// "<import path>/<file name>". It exists for exporter entry points
+	// (internal/obs's Dump) whose whole job is emitting the final artifact
+	// to stdout: the narrow waiver keeps the rest of the package — the
+	// span-recording and metrics code — under the full rule.
+	PrintAllowedFiles []string
+
 	// MapRangeAllowed lists library packages exempt from the maprange
 	// rule entirely (none by default — prefer a //motlint:ignore with a
 	// reason at the loop, or a sorted-keys helper).
@@ -51,6 +62,7 @@ func Default() Config {
 		WallTimeAllowed:   nil,
 		BareGoAllowed:     []string{"repro/internal/runtime/track"},
 		PrintAllowed:      []string{"repro/internal/report"},
+		PrintAllowedFiles: []string{"repro/internal/obs/export.go"},
 		MapRangeAllowed:   nil,
 	}
 }
@@ -59,6 +71,18 @@ func Default() Config {
 func pathAllowed(prefixes []string, pkgPath string) bool {
 	for _, p := range prefixes {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileAllowed reports whether the file holding pos is individually
+// allowlisted: entries name a file as "<import path>/<file name>".
+func (p *Pass) fileAllowed(entries []string, pos token.Pos) bool {
+	name := filepath.Base(p.Fset.Position(pos).Filename)
+	for _, e := range entries {
+		if e == p.Path+"/"+name {
 			return true
 		}
 	}

@@ -72,6 +72,26 @@ func TestDriverPackagesExempt(t *testing.T) {
 	}
 }
 
+// TestPrintAllowedFiles re-lints the printfile fixture with export.go on
+// the per-file allowlist: its finding disappears while printer.go in the
+// same package stays flagged — the file waiver must not widen to the
+// package.
+func TestPrintAllowedFiles(t *testing.T) {
+	cfg := Default()
+	cfg.PrintAllowedFiles = []string{"repro/internal/fixture/printfile/export.go"}
+	r := NewRunner(cfg, All()...)
+	findings, err := r.LintPackage(filepath.Join("testdata", "src", "printfile"), "repro/internal/fixture/printfile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly printer.go's", findings)
+	}
+	if f := findings[0]; f.File != "printer.go" || f.Rule != "printlib" {
+		t.Fatalf("unexpected finding: %s", f)
+	}
+}
+
 // TestFindingString pins the canonical output format the Makefile and CI
 // grep for.
 func TestFindingString(t *testing.T) {

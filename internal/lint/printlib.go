@@ -19,6 +19,9 @@ var PrintLib = &Analyzer{
 			return
 		}
 		for _, f := range p.Files {
+			if p.fileAllowed(p.Cfg.PrintAllowedFiles, f.Pos()) {
+				continue
+			}
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.CallExpr:

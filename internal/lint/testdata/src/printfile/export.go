@@ -1,0 +1,13 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// dump mirrors an exporter entry point (internal/obs's Dump): a positive
+// under the default policy, waived when this file is in
+// PrintAllowedFiles.
+func dump() {
+	fmt.Fprintln(os.Stdout, "artifact")
+}

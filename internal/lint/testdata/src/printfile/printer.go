@@ -1,0 +1,11 @@
+// Package fixture seeds the printlib per-file allowlist: under the
+// default policy both files are flagged; when export.go alone is named in
+// PrintAllowedFiles, only this file's findings must remain.
+package fixture
+
+import "fmt"
+
+// announce is a positive in every configuration.
+func announce() {
+	fmt.Println("progress")
+}

@@ -1,0 +1,34 @@
+// Package fixture pins the observability determinism rule: span-recording
+// library code never reads the wall clock. Spans are timed on logical or
+// simulated clocks handed in by the substrate (internal/obs's contract);
+// a time.Now inside a recorder makes trace bytes machine-dependent.
+package fixture
+
+import "time"
+
+// span is a miniature of an obs span: start/end on a float64 clock.
+type span struct {
+	start, end float64
+}
+
+// beginWall is a positive: stamping a span from the machine clock.
+func beginWall() span {
+	return span{start: float64(time.Now().UnixNano())}
+}
+
+// endWall is a positive: measuring a span with the machine clock.
+func endWall(sp *span, t0 time.Time) {
+	sp.end = sp.start + time.Since(t0).Seconds()
+}
+
+// beginAt is a negative — the discipline: the caller owns the clock
+// (operation count, simulated time, or a cost accumulator) and passes
+// the stamp in.
+func beginAt(at float64) span {
+	return span{start: at}
+}
+
+// endAt is a negative.
+func endAt(sp *span, at float64) {
+	sp.end = at
+}

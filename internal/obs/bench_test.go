@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// The nil-sink benchmarks pin the disabled-observability cost: a span
+// start + event + end + counter bump against a nil recorder must compile
+// down to a handful of pointer tests.
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan(OpMove, uint64(i), 3, 0)
+		sp.Event(EvHop, 1, 2, 1, 0)
+		sp.End(1)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := New("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan(OpMove, uint64(i), 3, 0)
+		sp.Event(EvHop, 1, 2, 1, 0)
+		sp.End(1)
+	}
+}
+
+func BenchmarkMetricsDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("ops", 1)
+		r.Observe("cost", float64(i&15))
+		r.AddAt(SeriesNodeMsgs, i&63, 1)
+	}
+}
+
+func BenchmarkMetricsEnabled(b *testing.B) {
+	r := New("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("ops", 1)
+		r.Observe("cost", float64(i&15))
+		r.AddAt(SeriesNodeMsgs, i&63, 1)
+	}
+}

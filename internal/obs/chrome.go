@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event exporter: the JSON array format chrome://tracing
+// and Perfetto load directly. Each recorder becomes one process (pid =
+// 1 + its position in the argument list, named by its label), each
+// object one thread, each span one complete ("X") slice, and each
+// retry/abort/restart event one instant ("i") marker. Timestamps are
+// the substrate's logical time interpreted as microseconds — the unit
+// is abstract, only the relative layout matters in the viewer.
+
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Cat   string      `json:"cat,omitempty"`
+	Ph    string      `json:"ph"`
+	Ts    float64     `json:"ts"`
+	Dur   float64     `json:"dur,omitempty"`
+	Pid   int         `json:"pid"`
+	Tid   int         `json:"tid"`
+	Scope string      `json:"s,omitempty"`
+	Args  interface{} `json:"args,omitempty"`
+}
+
+type chromeSpanArgs struct {
+	Op     uint64 `json:"op"`
+	Object int    `json:"object"`
+	Events int    `json:"events"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+// chromeInstants are the event kinds surfaced as instant markers (the
+// anomalies worth spotting on a timeline); plain hops and stamps stay
+// inside their span's slice to keep traces compact.
+var chromeInstants = map[string]bool{
+	EvRetry: true, EvAbort: true, EvRestart: true, EvWait: true,
+}
+
+// WriteChromeTrace writes one Chrome trace covering all given recorders.
+// Nil recorders are skipped.
+func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
+	var events []chromeEvent
+	for ri, r := range recs {
+		if r == nil {
+			continue
+		}
+		pid := ri + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: chromeMetaArgs{Name: r.Label()},
+		})
+		for _, sp := range r.sortedSpans() {
+			events = append(events, chromeEvent{
+				Name: sp.kind, Cat: sp.kind, Ph: "X",
+				Ts: sp.start, Dur: sp.end - sp.start,
+				Pid: pid, Tid: sp.object,
+				Args: chromeSpanArgs{Op: sp.op, Object: sp.object, Events: len(sp.events)},
+			})
+			for _, ev := range sp.events {
+				if !chromeInstants[ev.Kind] {
+					continue
+				}
+				events = append(events, chromeEvent{
+					Name: ev.Kind, Cat: sp.kind, Ph: "i",
+					Ts: ev.At, Pid: pid, Tid: sp.object, Scope: "t",
+				})
+			}
+		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	out, err := json.Marshal(events)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}

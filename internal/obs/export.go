@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Exporters. Every format sorts spans by logical identity
+// (op, object, kind, start, record order) and renders metrics from the
+// name-sorted Snapshot, so the bytes are a pure function of what was
+// recorded — the property the Workers=1 vs Workers=N golden test pins.
+
+// spanJSON is the JSONL line layout.
+type spanJSON struct {
+	Run    string  `json:"run"`
+	Op     uint64  `json:"op"`
+	Kind   string  `json:"kind"`
+	Object int     `json:"object"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Events []Event `json:"events"`
+}
+
+// sortedSpans copies the spans under the lock and orders them by
+// logical identity.
+func (r *Recorder) sortedSpans() []spanData {
+	r.mu.Lock()
+	spans := make([]spanData, len(r.spans))
+	copy(spans, r.spans)
+	r.mu.Unlock()
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := spans[order[i]], spans[order[j]]
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		if a.object != b.object {
+			return a.object < b.object
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return order[i] < order[j]
+	})
+	out := make([]spanData, len(spans))
+	for i, idx := range order {
+		out[i] = spans[idx]
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per span (events nested), sorted by
+// logical identity. A nil recorder writes nothing.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONLAll(w, r)
+}
+
+// WriteJSONLAll concatenates the JSONL exports of several recorders into
+// one stream; each line's "run" field carries its recorder's label.
+func WriteJSONLAll(w io.Writer, recs ...*Recorder) error {
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, sp := range r.sortedSpans() {
+			events := sp.events
+			if events == nil {
+				events = []Event{}
+			}
+			line, err := json.Marshal(spanJSON{
+				Run: r.label, Op: sp.op, Kind: sp.kind, Object: sp.object,
+				Start: sp.start, End: sp.end, Events: events,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders CSV numbers in the shortest exact form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetricsCSV writes the metrics snapshot as CSV with columns
+// run,type,name,key,value: counters and gauges (empty key), histogram
+// buckets (key le<bound>, +Inf, sum, count), and series elements (key =
+// index). A nil recorder writes only the header.
+func (r *Recorder) WriteMetricsCSV(w io.Writer) error {
+	return WriteMetricsCSVAll(w, r)
+}
+
+// WriteMetricsCSVAll writes one CSV (single header) covering several
+// recorders, each row tagged with its recorder's label.
+func WriteMetricsCSVAll(w io.Writer, recs ...*Recorder) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"run", "type", "name", "key", "value"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		snap := r.Snapshot()
+		for _, c := range snap.Counters {
+			if err := cw.Write([]string{snap.Label, "counter", c.Name, "", formatFloat(c.Value)}); err != nil {
+				return err
+			}
+		}
+		for _, g := range snap.Gauges {
+			if err := cw.Write([]string{snap.Label, "gauge", g.Name, "", formatFloat(g.Value)}); err != nil {
+				return err
+			}
+		}
+		for _, h := range snap.Histograms {
+			for i, b := range h.Bounds {
+				if err := cw.Write([]string{snap.Label, "hist", h.Name, "le" + formatFloat(b), strconv.FormatInt(h.Counts[i], 10)}); err != nil {
+					return err
+				}
+			}
+			rows := [][2]string{
+				{"+Inf", strconv.FormatInt(h.Counts[len(h.Bounds)], 10)},
+				{"sum", formatFloat(h.Sum)},
+				{"count", strconv.FormatInt(h.Count, 10)},
+			}
+			for _, row := range rows {
+				if err := cw.Write([]string{snap.Label, "hist", h.Name, row[0], row[1]}); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range snap.Series {
+			for i, v := range s.Values {
+				if err := cw.Write([]string{snap.Label, "series", s.Name, strconv.Itoa(i), formatFloat(v)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText writes a compact human-readable summary: span count,
+// counters, gauges, histogram means, and series headline statistics.
+func (r *Recorder) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	if _, err := fmt.Fprintf(w, "obs %s: %d spans\n", snap.Label, snap.Spans); err != nil {
+		return err
+	}
+	for _, c := range snap.Counters {
+		if _, err := fmt.Fprintf(w, "  counter %-20s %g\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if _, err := fmt.Fprintf(w, "  gauge   %-20s %g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		if _, err := fmt.Fprintf(w, "  hist    %-20s n=%d mean=%.3f\n", h.Name, h.Count, mean); err != nil {
+			return err
+		}
+	}
+	for _, s := range snap.Series {
+		if _, err := fmt.Fprintf(w, "  series  %-20s len=%d max=%g mean=%.3f nonzero=%d\n",
+			s.Name, len(s.Values), s.Max(), s.Mean(), s.NonZero()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump prints the WriteText summary to standard output — a debugging
+// convenience for REPL-style use; measured paths render through an
+// io.Writer. This call is why export.go (and only export.go) sits on
+// the printlib file allowlist.
+func (r *Recorder) Dump() {
+	if r == nil {
+		return
+	}
+	if err := r.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: dump: %v\n", err)
+	}
+}

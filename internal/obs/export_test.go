@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONLExactBytes pins the exact line format, the identity sort
+// (op, then object, then kind), and the empty-events rendering.
+func TestWriteJSONLExactBytes(t *testing.T) {
+	r := New("core")
+	// Recorded out of identity order on purpose.
+	b := r.StartSpan(OpQuery, 2, 5, 1)
+	b.End(3)
+	a := r.StartSpan(OpMove, 1, 9, 0)
+	a.Event(EvHop, 2, 4, 1.5, 0.5)
+	a.End(2)
+	p2 := r.StartSpan(OpPublish, 0, 8, 0)
+	p2.End(0)
+	p1 := r.StartSpan(OpPublish, 0, 3, 0)
+	p1.End(0)
+
+	var out strings.Builder
+	if err := r.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"run":"core","op":0,"kind":"publish","object":3,"start":0,"end":0,"events":[]}
+{"run":"core","op":0,"kind":"publish","object":8,"start":0,"end":0,"events":[]}
+{"run":"core","op":1,"kind":"move","object":9,"start":0,"end":2,"events":[{"seq":0,"kind":"hop","level":2,"node":4,"cost":1.5,"at":0.5}]}
+{"run":"core","op":2,"kind":"query","object":5,"start":1,"end":3,"events":[]}
+`
+	if out.String() != want {
+		t.Fatalf("JSONL mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestWriteJSONLAllConcatenates checks the multi-recorder stream keeps
+// recorder order and skips nil entries.
+func TestWriteJSONLAllConcatenates(t *testing.T) {
+	a := New("a")
+	a.StartSpan(OpMove, 1, 0, 0).End(1)
+	b := New("b")
+	b.StartSpan(OpQuery, 1, 0, 0).End(1)
+	var out strings.Builder
+	if err := WriteJSONLAll(&out, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"run":"a"`) || !strings.Contains(lines[1], `"run":"b"`) {
+		t.Fatalf("run tags wrong: %v", lines)
+	}
+}
+
+// TestWriteMetricsCSVExactBytes pins the CSV schema end to end.
+func TestWriteMetricsCSVExactBytes(t *testing.T) {
+	r := New("sim")
+	r.Add("ops", 3)
+	r.GaugeMax("queue", 7)
+	r.Observe("hops", 2)
+	r.Observe("hops", 1000)
+	r.AddAt("load", 1, 2.5)
+
+	var out strings.Builder
+	if err := r.WriteMetricsCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"run,type,name,key,value",
+		"sim,counter,ops,,3",
+		"sim,gauge,queue,,7",
+		"sim,hist,hops,le1,0",
+		"sim,hist,hops,le2,1",
+		"sim,hist,hops,le4,0",
+		"sim,hist,hops,le8,0",
+		"sim,hist,hops,le16,0",
+		"sim,hist,hops,le32,0",
+		"sim,hist,hops,le64,0",
+		"sim,hist,hops,le128,0",
+		"sim,hist,hops,le256,0",
+		"sim,hist,hops,le512,0",
+		"sim,hist,hops,+Inf,1",
+		"sim,hist,hops,sum,1002",
+		"sim,hist,hops,count,2",
+		"sim,series,load,0,0",
+		"sim,series,load,1,2.5",
+		"",
+	}, "\n")
+	if out.String() != want {
+		t.Fatalf("CSV mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestWriteMetricsCSVNilRecorder keeps the header-only contract.
+func TestWriteMetricsCSVNilRecorder(t *testing.T) {
+	var out strings.Builder
+	if err := WriteMetricsCSVAll(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "run,type,name,key,value\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+// TestWriteChromeTrace validates the trace is a well-formed JSON array
+// with process metadata, complete slices, and instant markers.
+func TestWriteChromeTrace(t *testing.T) {
+	r := New("runtime")
+	sp := r.StartSpan(OpMove, 1, 4, 10)
+	sp.Event(EvHop, 0, 2, 1, 10)   // not an instant
+	sp.Event(EvRetry, 0, 2, 1, 11) // instant
+	sp.End(12)
+
+	var out strings.Builder
+	if err := WriteChromeTrace(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal([]byte(out.String()), &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want meta+slice+instant: %v", len(events), events)
+	}
+	if events[0]["ph"] != "M" || events[0]["pid"] != float64(1) {
+		t.Fatalf("meta = %v", events[0])
+	}
+	if events[1]["ph"] != "X" || events[1]["name"] != OpMove || events[1]["dur"] != float64(2) || events[1]["tid"] != float64(4) {
+		t.Fatalf("slice = %v", events[1])
+	}
+	if events[2]["ph"] != "i" || events[2]["name"] != EvRetry || events[2]["s"] != "t" {
+		t.Fatalf("instant = %v", events[2])
+	}
+}
+
+// TestWriteChromeTraceEmpty ensures the no-recorder case still emits a
+// loadable empty array rather than JSON null.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := WriteChromeTrace(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+// TestWriteText smoke-tests the human summary (content, not exact bytes).
+func TestWriteText(t *testing.T) {
+	r := New("text")
+	r.StartSpan(OpPublish, 0, 1, 0).End(0)
+	r.Add("ops", 2)
+	r.GaugeMax("g", 5)
+	r.Observe("h", 4)
+	r.AddAt("s", 0, 1)
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"obs text: 1 spans", "counter", "gauge", "hist", "series"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, out.String())
+		}
+	}
+}

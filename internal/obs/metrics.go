@@ -1,0 +1,237 @@
+package obs
+
+import "sort"
+
+// The metrics registry: counters (monotone sums), gauges (high
+// watermarks), histograms over a fixed power-of-two bucket layout, and
+// indexed series (dense float vectors keyed by a small integer index —
+// node ID or overlay level). All four share the recorder mutex; every
+// method on a nil recorder is a no-op.
+
+// histBounds are the shared bucket upper bounds. A fixed layout keeps
+// snapshots byte-stable and cross-run comparable; the +Inf bucket
+// absorbs the tail.
+var histBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+type histogram struct {
+	count  int64
+	sum    float64
+	counts []int64 // len(histBounds)+1, last bucket is +Inf
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	for i, b := range histBounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(histBounds)]++
+}
+
+// Add increments the named counter by v.
+func (r *Recorder) Add(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += v
+	r.mu.Unlock()
+}
+
+// GaugeMax raises the named high-watermark gauge to v if v exceeds the
+// current value (the first observation always sets it).
+func (r *Recorder) GaugeMax(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Observe records v into the named fixed-bucket histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &histogram{counts: make([]int64, len(histBounds)+1)}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// AddAt adds v to element idx of the named series, growing the vector
+// with zeros as needed. Negative indices are ignored.
+func (r *Recorder) AddAt(name string, idx int, v float64) {
+	if r == nil || idx < 0 {
+		return
+	}
+	r.mu.Lock()
+	s := r.series[name]
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	s[idx] += v
+	r.series[name] = s
+	r.mu.Unlock()
+}
+
+// SetSeries replaces the named series wholesale with a copy of values —
+// for point-in-time vectors (per-node storage load) that are snapshotted
+// rather than accumulated.
+func (r *Recorder) SetSeries(name string, values []float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.series[name] = append([]float64(nil), values...)
+	r.mu.Unlock()
+}
+
+// NameValue is one named scalar in a snapshot.
+type NameValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnapshot is one histogram in a snapshot. Counts[i] holds the
+// observations <= Bounds[i]; the final element counts the +Inf tail.
+type HistSnapshot struct {
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// SeriesSnapshot is one indexed series in a snapshot: a dense vector
+// whose index is the node ID or level the values were recorded at.
+type SeriesSnapshot struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// Max returns the largest value in the series (0 when empty).
+func (s SeriesSnapshot) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean over all indices (0 when empty).
+func (s SeriesSnapshot) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// NonZero returns the number of non-zero entries.
+func (s SeriesSnapshot) NonZero() int {
+	n := 0
+	for _, v := range s.Values {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot is a deterministic point-in-time copy of the registry: every
+// section is sorted by name, series values are copied, and histogram
+// layouts are shared references to the immutable bounds table.
+type Snapshot struct {
+	Label      string           `json:"label"`
+	Spans      int              `json:"spans"`
+	Counters   []NameValue      `json:"counters"`
+	Gauges     []NameValue      `json:"gauges"`
+	Histograms []HistSnapshot   `json:"histograms"`
+	Series     []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures the registry. Safe to call while recording
+// continues; the zero Snapshot is returned for a nil recorder.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Label: r.label, Spans: len(r.spans)}
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Counters = append(snap.Counters, NameValue{Name: name, Value: r.counters[name]})
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Gauges = append(snap.Gauges, NameValue{Name: name, Value: r.gauges[name]})
+	}
+
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		snap.Histograms = append(snap.Histograms, HistSnapshot{
+			Name: name, Count: h.count, Sum: h.sum,
+			Bounds: histBounds,
+			Counts: append([]int64(nil), h.counts...),
+		})
+	}
+
+	names = names[:0]
+	for name := range r.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Series = append(snap.Series, SeriesSnapshot{
+			Name: name, Values: append([]float64(nil), r.series[name]...),
+		})
+	}
+	return snap
+}
+
+// SeriesValues returns a copy of the named series (nil when absent or
+// the recorder is disabled) — the per-node load vectors reports consume.
+func (r *Recorder) SeriesValues(name string) []float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		return nil
+	}
+	return append([]float64(nil), s...)
+}

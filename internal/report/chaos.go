@@ -1,0 +1,62 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// MarkdownChaos renders the chaos tier outcome as a Markdown table, one
+// row per seeded schedule, covering both substrates. The recovery columns
+// are the §7 repair traffic metered separately from fault-free costs; the
+// runtime delay column is the simulated backoff/delivery-delay time
+// (accounted, never slept).
+func MarkdownChaos(w io.Writer, res *experiments.ChaosResult) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| schedule | seed | sim faults | lost ops | queries done | recovery cost | recovery ops | run faults | failed ops | run cost | run delay |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, s := range res.Schedules {
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %.1f | %d | %d | %d | %.1f | %.1f |\n",
+			s.Index, s.Seed,
+			s.SimFaults(), s.SimLost, s.SimCompleted,
+			s.SimMeter.RecoveryCost, s.SimMeter.RecoveryOps,
+			s.RunFaults(), s.RunFailed, s.RunCost, s.RunDelay)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSVChaos writes the chaos tier outcome as CSV, one row per schedule.
+func CSVChaos(w io.Writer, res *experiments.ChaosResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"schedule", "seed",
+		"sim_faults", "sim_lost", "sim_completed", "recovery_cost", "recovery_ops",
+		"run_faults", "run_failed", "run_cost", "run_delay",
+	}); err != nil {
+		return err
+	}
+	for _, s := range res.Schedules {
+		if err := cw.Write([]string{
+			strconv.Itoa(s.Index),
+			strconv.FormatInt(s.Seed, 10),
+			strconv.Itoa(s.SimFaults()),
+			strconv.Itoa(s.SimLost),
+			strconv.Itoa(s.SimCompleted),
+			fmt.Sprintf("%.2f", s.SimMeter.RecoveryCost),
+			strconv.Itoa(s.SimMeter.RecoveryOps),
+			strconv.Itoa(s.RunFaults()),
+			strconv.Itoa(s.RunFailed),
+			fmt.Sprintf("%.2f", s.RunCost),
+			fmt.Sprintf("%.2f", s.RunDelay),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

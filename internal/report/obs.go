@@ -1,0 +1,123 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// obsLoadVectors extracts the per-node storage and message-load series of
+// one recorder as integer vectors (rounded; the series hold counts).
+func obsLoadVectors(rec *obs.Recorder) (entries, msgs []int) {
+	toInt := func(vs []float64) []int {
+		out := make([]int, len(vs))
+		for i, v := range vs {
+			out[i] = int(v + 0.5)
+		}
+		return out
+	}
+	return toInt(rec.SeriesValues(obs.SeriesNodeEntries)), toInt(rec.SeriesValues(obs.SeriesNodeMsgs))
+}
+
+// MarkdownObsLoad renders the per-node load report of an observability
+// sweep: headline statistics per run, then the storage-load histogram of
+// every run that recorded one (the §5 load-balancing comparison reads
+// core-lb against core-nolb).
+func MarkdownObsLoad(w io.Writer, res *experiments.ObsResult, histMax int) error {
+	if histMax < 1 {
+		histMax = experiments.DefaultHistogramMax
+	}
+	var b strings.Builder
+	b.WriteString("| run | nodes | max entries | mean entries | loaded nodes | nodes > 10 | max msgs | mean msgs |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	type histCol struct {
+		name string
+		ls   stats.LoadStats
+	}
+	var cols []histCol
+	for _, rec := range res.Recorders {
+		if rec == nil {
+			continue
+		}
+		entries, msgs := obsLoadVectors(rec)
+		els := stats.SummarizeLoad(entries, histMax)
+		mls := stats.SummarizeLoad(msgs, histMax)
+		fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %d | %d | %d | %.2f |\n",
+			rec.Label(), maxInt2(len(entries), len(msgs)),
+			els.Max, els.Mean, els.NonZero, els.AboveTen, mls.Max, mls.Mean)
+		if len(entries) > 0 {
+			cols = append(cols, histCol{name: rec.Label(), ls: els})
+		}
+	}
+	if len(cols) > 0 {
+		b.WriteString("\n| load |")
+		for _, c := range cols {
+			fmt.Fprintf(&b, " %s |", c.name)
+		}
+		b.WriteString("\n|---|")
+		for range cols {
+			b.WriteString("---|")
+		}
+		b.WriteString("\n")
+		for bucket := 0; bucket <= histMax; bucket++ {
+			label := strconv.Itoa(bucket)
+			if bucket == histMax {
+				label = ">=" + label
+			}
+			fmt.Fprintf(&b, "| %s |", label)
+			for _, c := range cols {
+				fmt.Fprintf(&b, " %d |", c.ls.Histogram[bucket])
+			}
+			b.WriteString("\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSVObsLoad writes the raw per-node vectors of every run as CSV
+// (run,node,entries,msgs); runs without a series report zeros.
+func CSVObsLoad(w io.Writer, res *experiments.ObsResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"run", "node", "entries", "msgs"}); err != nil {
+		return err
+	}
+	at := func(vs []int, i int) int {
+		if i < len(vs) {
+			return vs[i]
+		}
+		return 0
+	}
+	for _, rec := range res.Recorders {
+		if rec == nil {
+			continue
+		}
+		entries, msgs := obsLoadVectors(rec)
+		n := maxInt2(len(entries), len(msgs))
+		for i := 0; i < n; i++ {
+			if err := cw.Write([]string{
+				rec.Label(),
+				strconv.Itoa(i),
+				strconv.Itoa(at(entries, i)),
+				strconv.Itoa(at(msgs, i)),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func maxInt2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

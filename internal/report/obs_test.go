@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+func sampleObs() *experiments.ObsResult {
+	lbRec := obs.New("core-lb")
+	lbRec.SetSeries(obs.SeriesNodeEntries, []float64{1, 2, 0, 1})
+	lbRec.SetSeries(obs.SeriesNodeMsgs, []float64{3, 0, 5, 0})
+	noRec := obs.New("core-nolb")
+	noRec.SetSeries(obs.SeriesNodeEntries, []float64{0, 12, 0, 0})
+	simRec := obs.New("sim") // message series only
+	simRec.SetSeries(obs.SeriesNodeMsgs, []float64{1, 1, 1, 1})
+	return &experiments.ObsResult{Recorders: []*obs.Recorder{lbRec, noRec, simRec}}
+}
+
+func TestMarkdownObsLoad(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownObsLoad(&buf, sampleObs(), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"| run |", "| core-lb |", "| core-nolb |", "| sim |", "| load |", "| >=3 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// core-nolb has one node with load 12 > 10 and a max of 12.
+	if !strings.Contains(out, "| core-nolb | 4 | 12 |") {
+		t.Fatalf("nolb headline row wrong:\n%s", out)
+	}
+	// The histogram block must not include sim (no entries series).
+	hist := out[strings.Index(out, "| load |"):]
+	if strings.Contains(hist, "sim") {
+		t.Fatalf("histogram should omit runs without entries:\n%s", hist)
+	}
+}
+
+func TestCSVObsLoadParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVObsLoad(&buf, sampleObs()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+3*4 { // header + 3 runs x 4 nodes
+		t.Fatalf("%d records", len(recs))
+	}
+	if got := recs[1]; got[0] != "core-lb" || got[1] != "0" || got[2] != "1" || got[3] != "3" {
+		t.Fatalf("first row: %v", got)
+	}
+	// sim has no entries series: zeros for entries, values for msgs.
+	last := recs[len(recs)-1]
+	if last[0] != "sim" || last[2] != "0" || last[3] != "1" {
+		t.Fatalf("sim row: %v", last)
+	}
+}
+
+func sampleChaos() *experiments.ChaosResult {
+	return &experiments.ChaosResult{
+		Config: experiments.ChaosConfig{Schedules: 2, Size: 49},
+		Schedules: []experiments.ChaosSchedule{
+			{
+				Index: 0, Seed: 11,
+				SimTrace: "a\nb\n", SimCompleted: 9, SimLost: 1,
+				SimMeter: core.CostMeter{RecoveryCost: 12.5, RecoveryOps: 3},
+				RunTrace: "x\n", RunCost: 100.25, RunDelay: 7.5, RunFailed: 2,
+			},
+			{Index: 1, Seed: 13},
+		},
+	}
+}
+
+func TestMarkdownChaos(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownChaos(&buf, sampleChaos()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| recovery cost |") || !strings.Contains(out, "| run delay |") {
+		t.Fatalf("header missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "| 0 | 11 | 2 | 1 | 9 | 12.5 | 3 | 1 | 2 | 100.2 | 7.5 |") {
+		t.Fatalf("schedule row wrong:\n%s", out)
+	}
+}
+
+func TestCSVChaosParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVChaos(&buf, sampleChaos()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][5] != "recovery_cost" || recs[0][10] != "run_delay" {
+		t.Fatalf("header: %v", recs[0])
+	}
+	if recs[1][2] != "2" || recs[1][5] != "12.50" || recs[1][10] != "7.50" {
+		t.Fatalf("row: %v", recs[1])
+	}
+}

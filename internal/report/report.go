@@ -54,12 +54,21 @@ func MarkdownLoad(w io.Writer, res *experiments.LoadResult) error {
 	return err
 }
 
-// CSVCostRatio writes the sweep as CSV with one row per (size, algorithm)
-// and all four ratio variants.
+// CSVCostRatio writes the sweep as CSV with one row per (size, algorithm):
+// all four ratio variants plus the separately-metered auxiliary traffic
+// (SDL, load-balance routing, recovery), so no metered cost is dropped.
 func CSVCostRatio(w io.Writer, res *experiments.CostRatioResult) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"nodes", "algorithm", "maint_mean_ratio", "query_mean_ratio", "maint_agg_ratio", "query_agg_ratio"}); err != nil {
+	if err := cw.Write([]string{"nodes", "algorithm", "maint_mean_ratio", "query_mean_ratio", "maint_agg_ratio", "query_agg_ratio", "special_cost", "lb_route_cost", "recovery_cost", "recovery_ops"}); err != nil {
 		return err
+	}
+	// Older results (decoded from JSON, say) may predate the auxiliary
+	// columns; read them as zero instead of panicking.
+	aux := func(table [][]float64, a, si int) float64 {
+		if a < len(table) && si < len(table[a]) {
+			return table[a][si]
+		}
+		return 0
 	}
 	for si, n := range res.Sizes {
 		for a, alg := range res.Algorithms {
@@ -70,6 +79,10 @@ func CSVCostRatio(w io.Writer, res *experiments.CostRatioResult) error {
 				fmt.Sprintf("%.4f", res.QueryMean[a][si]),
 				fmt.Sprintf("%.4f", res.Maintenance[a][si]),
 				fmt.Sprintf("%.4f", res.Query[a][si]),
+				fmt.Sprintf("%.2f", aux(res.Special, a, si)),
+				fmt.Sprintf("%.2f", aux(res.LBRoute, a, si)),
+				fmt.Sprintf("%.2f", aux(res.Recovery, a, si)),
+				fmt.Sprintf("%.2f", aux(res.RecoveryOps, a, si)),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -76,11 +76,18 @@ func TestCSVCostRatioParses(t *testing.T) {
 	if len(recs) != 5 {
 		t.Fatalf("%d records", len(recs))
 	}
-	if recs[0][0] != "nodes" || len(recs[1]) != 6 {
+	if recs[0][0] != "nodes" || len(recs[1]) != 10 {
 		t.Fatalf("header/record shape: %v", recs[0])
+	}
+	if recs[0][6] != "special_cost" || recs[0][9] != "recovery_ops" {
+		t.Fatalf("auxiliary columns missing: %v", recs[0])
 	}
 	if recs[1][1] != "MOT" || recs[2][1] != "STUN" {
 		t.Fatalf("algorithm order: %v %v", recs[1], recs[2])
+	}
+	// sampleCost predates the auxiliary tables; they must read as zero.
+	if recs[1][8] != "0.00" {
+		t.Fatalf("missing aux table should render 0.00: %v", recs[1])
 	}
 }
 

@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/runtime/track"
+)
+
+// DebugServer is the opt-in diagnostics endpoint of a live tracker.
+type DebugServer struct {
+	addr string
+	srv  *http.Server
+	g    track.Group
+}
+
+// Addr returns the address the server listens on (host:port).
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Close shuts the server down and waits for its serve loop to exit.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	s.g.Wait()
+	return err
+}
+
+// ServeDebug starts an HTTP debug endpoint for the tracker on addr (use
+// "127.0.0.1:0" for an ephemeral port): /debug/obs serves the current
+// observability snapshot as JSON, /debug/load the per-node entry counts,
+// and the standard expvar and pprof handlers ride along. Strictly
+// opt-in — nothing listens unless this is called — and diagnostics only:
+// measured runs export through internal/obs writers instead.
+func (t *Tracker) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.obs.Snapshot())
+	})
+	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(t.LoadByNode())
+	})
+	s := &DebugServer{addr: ln.Addr().String(), srv: &http.Server{Handler: mux}}
+	s.g.Go(func() { _ = s.srv.Serve(ln) })
+	return s, nil
+}

@@ -6,10 +6,12 @@
 // iterative pseudocode "can be immediately converted to a message-passing
 // based distributed algorithm").
 //
-// The runtime favors clarity over instrumentation — the measured
-// reproductions use the sequential engine (internal/core) and the
-// discrete-event simulator (internal/sim); this package demonstrates the
-// same protocol running on real concurrent nodes and backs the examples.
+// The measured reproductions use the sequential engine (internal/core) and
+// the discrete-event simulator (internal/sim); this package demonstrates
+// the same protocol running on real concurrent nodes and backs the
+// examples. Operations can be observed via NewInstrumented (spans and
+// per-node metrics on a cost clock, see obs.go) and the opt-in debug
+// HTTP endpoint (debug.go).
 package runtime
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/runtime/track"
 )
@@ -59,6 +62,8 @@ type opState struct {
 	down  overlay.Station // target of the downward walk
 	cost  float64
 	reply chan result
+	span  obs.Span
+	at    float64 // cost-clock time the operation began
 }
 
 type result struct {
@@ -100,6 +105,13 @@ type Tracker struct {
 	crashed  []bool
 	delayMu  sync.Mutex
 	simDelay float64
+
+	// Observability (nil obs disables; see obs.go): the cost clock and
+	// the in-flight operation count behind it.
+	obs      *obs.Recorder
+	obsMu    sync.Mutex
+	obsNow   float64
+	inflight int
 }
 
 // New starts a tracker: one goroutine per sensor node of the overlay's
@@ -115,6 +127,13 @@ func New(g *graph.Graph, ov overlay.Overlay) *Tracker {
 // budget surfaces a typed *chaos.DeliveryError on the blocked operation
 // instead of hanging it.
 func NewChaos(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector) *Tracker {
+	return NewInstrumented(g, ov, inj, nil)
+}
+
+// NewInstrumented starts a tracker whose operations additionally record
+// spans and per-node metrics into rec (nil rec behaves exactly like
+// NewChaos). The runtime's logical clock is a cost clock — see obs.go.
+func NewInstrumented(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector, rec *obs.Recorder) *Tracker {
 	t := &Tracker{
 		g:       g,
 		m:       ov.Metric(),
@@ -126,6 +145,7 @@ func NewChaos(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector) *Tracker 
 		objMu:   make(map[core.ObjectID]*sync.Mutex),
 		inj:     inj,
 		crashed: make([]bool, g.N()),
+		obs:     rec,
 	}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan message, 256)
@@ -239,6 +259,7 @@ func (t *Tracker) send(from graph.NodeID, msg message) {
 		t.totalCost += d
 		t.costMu.Unlock()
 		op.cost += d
+		t.obsAttempt(op, msg.dest, d, attempt)
 		if t.inj == nil {
 			t.deliver(msg)
 			return
@@ -305,11 +326,14 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 	switch op.kind {
 	case opPublish, opInsertUp:
 		st := op.path[op.level][0]
+		t.obsArrive(op, op.level, n)
 		s := t.slot(n, st)
 		if op.kind == opInsertUp && op.level > 0 {
 			if old, ok := s.dl[op.o]; ok {
 				// Peak: repoint and start the delete downward.
 				s.dl[op.o] = op.path[op.level-1][0]
+				t.obsEvent(op, obs.EvPeak, op.level, n, 0)
+				t.obsEvent(op, obs.EvStamp, op.level, n, 0)
 				op.kind = opDeleteDown
 				op.down = old
 				t.send(n, message{dest: old.Host, op: op})
@@ -321,6 +345,7 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 		} else {
 			s.dl[op.o] = op.path[op.level-1][0]
 		}
+		t.obsEvent(op, obs.EvStamp, op.level, n, 0)
 		if op.level+1 < len(op.path) {
 			op.level++
 			t.send(n, message{dest: op.path[op.level][0].Host, op: op})
@@ -329,6 +354,7 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 		op.reply <- result{proxy: n, cost: op.cost}
 	case opDeleteDown:
 		st := op.down
+		t.obsArrive(op, st.Level, n)
 		s := t.slot(n, st)
 		next, ok := s.dl[op.o]
 		if !ok {
@@ -336,6 +362,7 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 			return
 		}
 		delete(s.dl, op.o)
+		t.obsEvent(op, obs.EvWipe, st.Level, n, 0)
 		if next == proxyMark {
 			op.reply <- result{proxy: n, cost: op.cost}
 			return
@@ -344,8 +371,10 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 		t.send(n, message{dest: next.Host, op: op})
 	case opQueryUp:
 		st := op.path[op.level][0]
+		t.obsArrive(op, op.level, n)
 		s := t.slot(n, st)
 		if next, ok := s.dl[op.o]; ok {
+			t.obsEvent(op, obs.EvPeak, op.level, n, 0)
 			if next == proxyMark {
 				op.reply <- result{proxy: n, cost: op.cost}
 				return
@@ -363,6 +392,7 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 		t.send(n, message{dest: op.path[op.level][0].Host, op: op})
 	case opQueryDown:
 		st := op.down
+		t.obsArrive(op, st.Level, n)
 		s := t.slot(n, st)
 		next, ok := s.dl[op.o]
 		if !ok {
@@ -392,8 +422,13 @@ func (t *Tracker) Publish(o core.ObjectID, at graph.NodeID) error {
 	t.loc[o] = at
 	t.locMu.Unlock()
 	op := &opState{kind: opPublish, id: t.opSeq.Add(1), o: o, path: t.ov.DPath(at), reply: make(chan result, 1)}
+	t.obsBegin(obs.OpPublish, op)
 	t.deliver(message{dest: at, op: op})
 	res := <-op.reply
+	if res.err != nil {
+		t.obsEvent(op, obs.EvAbort, -1, at, 0)
+	}
+	t.obsEnd(op)
 	return res.err
 }
 
@@ -418,9 +453,14 @@ func (t *Tracker) Move(o core.ObjectID, to graph.NodeID) error {
 	t.loc[o] = to
 	t.locMu.Unlock()
 	op := &opState{kind: opInsertUp, id: t.opSeq.Add(1), o: o, path: t.ov.DPath(to), reply: make(chan result, 1)}
+	t.obsBegin(obs.OpMove, op)
 	// The bottom-level stamp happens at the new proxy itself.
 	t.deliver(message{dest: to, op: op})
 	res := <-op.reply
+	if res.err != nil {
+		t.obsEvent(op, obs.EvAbort, -1, to, 0)
+	}
+	t.obsEnd(op)
 	if res.err != nil {
 		return res.err
 	}
@@ -445,7 +485,12 @@ func (t *Tracker) Query(from graph.NodeID, o core.ObjectID) (graph.NodeID, float
 	mu.Lock()
 	defer mu.Unlock()
 	op := &opState{kind: opQueryUp, id: t.opSeq.Add(1), o: o, path: t.ov.DPath(from), reply: make(chan result, 1)}
+	t.obsBegin(obs.OpQuery, op)
 	t.deliver(message{dest: from, op: op})
 	res := <-op.reply
+	if res.err != nil {
+		t.obsEvent(op, obs.EvAbort, -1, from, 0)
+	}
+	t.obsEnd(op)
 	return res.proxy, res.cost, res.err
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // event is a scheduled continuation.
@@ -61,6 +62,7 @@ type Engine struct {
 	steps  int64
 	limit  int64
 	faults FaultInjector
+	obs    *obs.Recorder
 }
 
 // NewEngine returns an engine with the given step limit (a safety net
@@ -92,10 +94,17 @@ func (e *Engine) After(delay float64, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// SetObs installs a recorder for the engine's queue-depth and step-count
+// gauges; nil disables them.
+func (e *Engine) SetObs(r *obs.Recorder) { e.obs = r }
+
 // Run processes events until the queue drains. It returns an error if the
 // step limit is exceeded (which indicates a protocol livelock).
 func (e *Engine) Run() error {
 	for e.events.Len() > 0 {
+		if e.obs != nil {
+			e.obs.GaugeMax("engine.queue", float64(e.events.Len()))
+		}
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.steps++
@@ -103,6 +112,9 @@ func (e *Engine) Run() error {
 			return fmt.Errorf("sim: step limit %d exceeded at t=%v (livelock?)", e.limit, e.now)
 		}
 		ev.fn()
+	}
+	if e.obs != nil {
+		e.obs.GaugeMax("engine.steps", float64(e.steps))
 	}
 	return nil
 }

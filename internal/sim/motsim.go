@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	// lost the trail jumps straight toward the new proxy instead of
 	// re-climbing or waiting at the stale bottom.
 	Redirects bool
+	// Obs receives a span per issued operation plus per-node/per-level
+	// metrics, timed on the simulated clock. Nil disables observability;
+	// the engine's queue gauges follow the same recorder (see obs.go).
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -110,6 +115,8 @@ type MOTSim struct {
 	// failures). Unlike errs these are expected under chaos and do not
 	// fail CheckInvariants; the repair path restores the trail instead.
 	lost []error
+
+	obs *obs.Recorder
 }
 
 // NewMOT builds a concurrent simulator over ov, which must produce
@@ -122,6 +129,9 @@ func NewMOT(ov overlay.Overlay, eng *Engine, cfg Config) (*MOTSim, error) {
 			return nil, fmt.Errorf("sim: overlay has %d stations at level %d; the concurrent simulator needs single-parent paths", len(sts), l)
 		}
 	}
+	if cfg.Obs != nil {
+		eng.SetObs(cfg.Obs)
+	}
 	return &MOTSim{
 		eng:     eng,
 		ov:      ov,
@@ -133,6 +143,7 @@ func NewMOT(ov overlay.Overlay, eng *Engine, cfg Config) (*MOTSim, error) {
 		queue:   make(map[core.ObjectID][]*moveOp),
 		active:  make(map[core.ObjectID]bool),
 		waiters: make(map[slotKey]map[core.ObjectID][]func(graph.NodeID)),
+		obs:     cfg.Obs,
 	}, nil
 }
 
@@ -181,6 +192,7 @@ func (s *MOTSim) Publish(o core.ObjectID, at graph.NodeID) error {
 	if _, ok := s.loc[o]; ok {
 		return fmt.Errorf("sim: object %d already published", o)
 	}
+	span := s.obsSpan(obs.OpPublish, 0, o)
 	path := s.ov.DPath(at)
 	cost := 0.0
 	prev := path[0][0]
@@ -188,18 +200,21 @@ func (s *MOTSim) Publish(o core.ObjectID, at graph.NodeID) error {
 		st := path[l][0]
 		cost += s.m.Dist(prev.Host, st.Host)
 		prev = st
-		s.stamp(path, l, o, 0)
+		s.obsAttempt(span, st.Host, 0, 1)
+		s.obsArrive(span, l, st.Host)
+		s.stamp(span, path, l, o, 0)
 	}
 	s.loc[o] = at
 	s.ver[o] = 0
 	s.meter.PublishCost += cost
 	s.meter.PublishOps++
+	span.End(s.eng.Now())
 	return nil
 }
 
 // stamp writes the entry for o at path[l] with the given version, handling
-// SDL registration and cost.
-func (s *MOTSim) stamp(path overlay.Path, l int, o core.ObjectID, ver uint64) {
+// SDL registration and cost. span is the operation the stamp belongs to.
+func (s *MOTSim) stamp(span obs.Span, path overlay.Path, l int, o core.ObjectID, ver uint64) {
 	st := path[l][0]
 	var child overlay.Station
 	if l > 0 {
@@ -212,9 +227,11 @@ func (s *MOTSim) stamp(path overlay.Path, l int, o core.ObjectID, ver uint64) {
 	}
 	sl.dl[o] = simEntry{child: child, ver: ver, sp: sp, spOK: spOK}
 	delete(sl.fwd, o)
+	span.Event(obs.EvStamp, l, int(st.Host), 0, s.eng.Now())
 	if spOK {
 		s.slot(sp).sdl[o] = simSDL{child: st, ver: ver}
 		s.meter.SpecialCost += s.m.Dist(st.Host, sp.Host)
+		span.Event(obs.EvSDL, sp.Level, int(sp.Host), s.m.Dist(st.Host, sp.Host), s.eng.Now())
 	}
 }
 
@@ -237,6 +254,7 @@ type moveOp struct {
 	pos      graph.NodeID
 	cost     float64
 	optimal  float64
+	span     obs.Span
 }
 
 // send routes one message of a maintenance operation through the fault
@@ -249,7 +267,7 @@ func (s *MOTSim) send(op *moveOp, dest graph.NodeID, fn func()) {
 		Hop:       op.hop,
 		Dest:      dest,
 		Dist:      d,
-		OnAttempt: func(int) { op.cost += d },
+		OnAttempt: func(att int) { op.cost += d; s.obsAttempt(op.span, dest, d, att) },
 		Fn:        fn,
 		OnFail:    func(err error) { s.abortMove(op, err) },
 	})
@@ -273,6 +291,7 @@ func (s *MOTSim) IssueMove(o core.ObjectID, to graph.NodeID, at float64) error {
 		s.nextOp++
 		op := &moveOp{id: s.nextOp, o: o, ver: s.ver[o], from: from, to: to, path: s.ov.DPath(to), pos: to,
 			optimal: s.m.Dist(from, to)}
+		op.span = s.obsSpan(obs.OpMove, op.id, o)
 		s.queue[o] = append(s.queue[o], op)
 		s.pump(o)
 	})
@@ -288,7 +307,7 @@ func (s *MOTSim) pump(o core.ObjectID) {
 	op := s.queue[o][0]
 	s.queue[o] = s.queue[o][1:]
 	s.active[o] = true
-	s.stamp(op.path, 0, o, op.ver)
+	s.stamp(op.span, op.path, 0, o, op.ver)
 	s.enterLevel(op, 1)
 }
 
@@ -307,6 +326,7 @@ func (s *MOTSim) enterLevel(op *moveOp, k int) {
 		phi := math.Pow(2, float64(k)) * s.cfg.PhiBase
 		boundary := math.Ceil(s.eng.Now()/phi) * phi
 		if boundary > s.eng.Now() {
+			op.span.Event(obs.EvWait, k, int(op.pos), boundary-s.eng.Now(), s.eng.Now())
 			s.eng.At(boundary, proceed)
 			return
 		}
@@ -319,6 +339,7 @@ func (s *MOTSim) enterLevel(op *moveOp, k int) {
 func (s *MOTSim) arriveLevel(op *moveOp, k int) {
 	st := op.path[k][0]
 	op.pos = st.Host
+	s.obsArrive(op.span, k, st.Host)
 	sl := s.slot(st)
 	if e, ok := sl.dl[op.o]; ok {
 		if e.ver >= op.ver {
@@ -328,11 +349,12 @@ func (s *MOTSim) arriveLevel(op *moveOp, k int) {
 			return
 		}
 		// Peak: repoint to the new chain, then prune the old one.
-		s.stamp(op.path, k, op.o, op.ver)
+		op.span.Event(obs.EvPeak, k, int(st.Host), 0, s.eng.Now())
+		s.stamp(op.span, op.path, k, op.o, op.ver)
 		s.deleteStep(op, e.child)
 		return
 	}
-	s.stamp(op.path, k, op.o, op.ver)
+	s.stamp(op.span, op.path, k, op.o, op.ver)
 	s.enterLevel(op, k+1)
 }
 
@@ -340,6 +362,7 @@ func (s *MOTSim) arriveLevel(op *moveOp, k int) {
 func (s *MOTSim) deleteStep(op *moveOp, target overlay.Station) {
 	s.send(op, target.Host, func() {
 		op.pos = target.Host
+		s.obsArrive(op.span, target.Level, target.Host)
 		sl := s.slot(target)
 		e, ok := sl.dl[op.o]
 		if !ok || e.ver >= op.ver {
@@ -349,6 +372,7 @@ func (s *MOTSim) deleteStep(op *moveOp, target overlay.Station) {
 			return
 		}
 		delete(sl.dl, op.o)
+		op.span.Event(obs.EvWipe, target.Level, int(target.Host), 0, s.eng.Now())
 		if s.cfg.Redirects {
 			sl.fwd[op.o] = op.to
 		}
@@ -367,6 +391,7 @@ func (s *MOTSim) deleteStep(op *moveOp, target overlay.Station) {
 
 func (s *MOTSim) finishMove(op *moveOp) {
 	s.meter.AddMaintSample(op.cost, op.optimal)
+	op.span.End(s.eng.Now())
 	s.active[op.o] = false
 	s.pump(op.o)
 }
@@ -378,7 +403,13 @@ func (s *MOTSim) finishMove(op *moveOp) {
 func (s *MOTSim) abortMove(op *moveOp, err error) {
 	s.lost = append(s.lost, fmt.Errorf("sim: move %d/%d lost: %w", op.o, op.ver, err))
 	s.meter.RecoveryCost += op.cost
-	s.repair(op.o, op.ver)
+	op.span.Event(obs.EvAbort, -1, int(op.pos), 0, s.eng.Now())
+	op.span.End(s.eng.Now())
+	// The repair walk is its own recovery span, sharing the failed move's
+	// operation number (kind disambiguates in the export sort).
+	rspan := s.obsSpan(obs.OpRecovery, op.id, op.o)
+	s.repair(rspan, op.o, op.ver)
+	rspan.End(s.eng.Now())
 	s.active[op.o] = false
 	s.pump(op.o)
 }
@@ -389,7 +420,7 @@ func (s *MOTSim) abortMove(op *moveOp, err error) {
 // operation's version (the §7 fine-grained path — rebuild one object's
 // chain, not the directory). Queries parked at stale proxies are released
 // toward the repaired proxy.
-func (s *MOTSim) repair(o core.ObjectID, ver uint64) {
+func (s *MOTSim) repair(span obs.Span, o core.ObjectID, ver uint64) {
 	keys := make([]slotKey, 0, len(s.slots))
 	for k := range s.slots {
 		keys = append(keys, k)
@@ -400,6 +431,8 @@ func (s *MOTSim) repair(o core.ObjectID, ver uint64) {
 		}
 		return keys[i].key < keys[j].key
 	})
+	// One aggregate wipe event covers the whole sweep.
+	span.Event(obs.EvWipe, -1, int(s.loc[o]), 0, s.eng.Now())
 	for _, k := range keys {
 		sl := s.slots[k]
 		delete(sl.dl, o)
@@ -414,7 +447,9 @@ func (s *MOTSim) repair(o core.ObjectID, ver uint64) {
 		st := path[l][0]
 		cost += s.m.Dist(prev.Host, st.Host)
 		prev = st
-		s.stamp(path, l, o, ver)
+		s.obsAttempt(span, st.Host, 0, 1)
+		s.obsArrive(span, l, st.Host)
+		s.stamp(span, path, l, o, ver)
 	}
 	s.meter.RecoveryCost += cost
 	s.meter.RecoveryOps++
@@ -451,6 +486,7 @@ type queryOp struct {
 	restarts int
 	waited   bool
 	lastSlot *simSlot // slot where the trail last broke (for redirects)
+	span     obs.Span
 }
 
 // qsend routes one query message through the fault layer.
@@ -462,11 +498,13 @@ func (s *MOTSim) qsend(q *queryOp, dest graph.NodeID, fn func()) {
 		Hop:       q.hop,
 		Dest:      dest,
 		Dist:      d,
-		OnAttempt: func(int) { q.cost += d },
+		OnAttempt: func(att int) { q.cost += d; s.obsAttempt(q.span, dest, d, att) },
 		Fn:        fn,
 		OnFail: func(err error) {
 			s.lost = append(s.lost, fmt.Errorf("sim: query for %d from %d lost: %w", q.o, q.origin, err))
 			s.meter.RecoveryCost += q.cost
+			q.span.Event(obs.EvAbort, -1, int(dest), 0, s.eng.Now())
+			q.span.End(s.eng.Now())
 		},
 	})
 }
@@ -480,6 +518,7 @@ func (s *MOTSim) IssueQuery(origin graph.NodeID, o core.ObjectID, at float64) er
 		s.nextOp++
 		q := &queryOp{id: s.nextOp, origin: origin, o: o, pos: origin}
 		q.optimal = s.m.Dist(origin, s.loc[o])
+		q.span = s.obsSpan(obs.OpQuery, q.id, o)
 		s.climb(q, s.ov.DPath(origin), 0)
 	})
 	return nil
@@ -495,12 +534,15 @@ func (s *MOTSim) climb(q *queryOp, path overlay.Path, k int) {
 	st := path[k][0]
 	s.qsend(q, st.Host, func() {
 		q.pos = st.Host
+		s.obsArrive(q.span, k, st.Host)
 		sl := s.slot(st)
 		if _, ok := sl.dl[q.o]; ok {
+			q.span.Event(obs.EvPeak, k, int(st.Host), 0, s.eng.Now())
 			s.descend(q, st)
 			return
 		}
 		if se, ok := sl.sdl[q.o]; ok {
+			q.span.Event(obs.EvSDL, k, int(st.Host), 0, s.eng.Now())
 			s.hopTo(q, se.child)
 			return
 		}
@@ -512,6 +554,7 @@ func (s *MOTSim) climb(q *queryOp, path overlay.Path, k int) {
 func (s *MOTSim) hopTo(q *queryOp, st overlay.Station) {
 	s.qsend(q, st.Host, func() {
 		q.pos = st.Host
+		s.obsArrive(q.span, st.Level, st.Host)
 		if sl := s.slot(st); true {
 			if _, ok := sl.dl[q.o]; !ok {
 				q.lastSlot = sl
@@ -541,6 +584,7 @@ func (s *MOTSim) descend(q *queryOp, st overlay.Station) {
 		// Stale proxy: the object moved and the delete has not arrived
 		// yet. Wait for it; it carries the new proxy.
 		q.waited = true
+		q.span.Event(obs.EvWait, 0, int(st.Host), 0, s.eng.Now())
 		k := slotKey{st.Level, st.Key}
 		if s.waiters[k] == nil {
 			s.waiters[k] = make(map[core.ObjectID][]func(graph.NodeID))
@@ -553,6 +597,7 @@ func (s *MOTSim) descend(q *queryOp, st overlay.Station) {
 	next := e.child
 	s.qsend(q, next.Host, func() {
 		q.pos = next.Host
+		s.obsArrive(q.span, next.Level, next.Host)
 		s.descend(q, next)
 	})
 }
@@ -564,6 +609,7 @@ func (s *MOTSim) descend(q *queryOp, st overlay.Station) {
 func (s *MOTSim) chase(q *queryOp, proxy graph.NodeID) {
 	s.qsend(q, proxy, func() {
 		q.pos = proxy
+		s.obsArrive(q.span, 0, proxy)
 		if s.loc[q.o] == proxy {
 			s.complete(q, proxy)
 			return
@@ -578,6 +624,7 @@ func (s *MOTSim) chase(q *queryOp, proxy graph.NodeID) {
 // behind, heading straight for the mover's destination.
 func (s *MOTSim) restart(q *queryOp) {
 	q.restarts++
+	q.span.Event(obs.EvRestart, -1, int(q.pos), 0, s.eng.Now())
 	if q.restarts > s.cfg.MaxRestarts {
 		s.fail("sim: query for %d from %d exceeded %d restarts", q.o, q.origin, s.cfg.MaxRestarts)
 		return
@@ -601,6 +648,7 @@ func (s *MOTSim) complete(q *queryOp, found graph.NodeID) {
 		Cost: q.cost, Optimal: q.optimal, Restarts: q.restarts, Waited: q.waited,
 	})
 	s.meter.AddQuerySample(q.cost, q.optimal)
+	q.span.End(s.eng.Now())
 }
 
 // CheckInvariants validates quiescent-state consistency: every object's

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Observability hooks for the concurrent substrate. The logical clock is
+// the engine's simulated time, and spans live on the in-flight operation
+// structs because maintenance and queries overlap. Operation numbers are
+// the simulator's own issue-order numbering (s.nextOp) — the same ids the
+// fault layer hashes — so instrumentation never perturbs fault decisions;
+// publishes, which the simulator does not number, use op 0 and are
+// disambiguated by object in the export sort. Every hook reduces to one
+// pointer test when Config.Obs is nil.
+
+// obsSpan opens a span at the current simulated time.
+func (s *MOTSim) obsSpan(kind string, id uint64, o core.ObjectID) obs.Span {
+	if s.obs == nil {
+		return obs.Span{}
+	}
+	return s.obs.StartSpan(kind, id, int(o), s.eng.Now())
+}
+
+// obsArrive accounts one message arrival at a station of the given level:
+// a hop event on the span plus the per-level hop count.
+func (s *MOTSim) obsArrive(sp obs.Span, level int, host graph.NodeID) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.AddAt(obs.SeriesLevelHops, level, 1)
+	sp.Event(obs.EvHop, level, int(host), 0, s.eng.Now())
+}
+
+// obsAttempt accounts one transmission attempt toward dest (retries
+// included, mirroring the cost meter): the per-node traffic series, plus
+// a retry event when the fault layer forced a retransmission.
+func (s *MOTSim) obsAttempt(sp obs.Span, dest graph.NodeID, d float64, attempt int) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.AddAt(obs.SeriesNodeMsgs, int(dest), 1)
+	if attempt > 1 {
+		sp.Event(obs.EvRetry, -1, int(dest), d, s.eng.Now())
+	}
+}

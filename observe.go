@@ -1,0 +1,42 @@
+package mot
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Observability facade: re-exports of internal/obs so callers can record
+// spans and metrics from any substrate (Tracker via Options.Obs,
+// Distributed via the same option) and export them deterministically.
+
+// Recorder collects spans and metrics for one run. A nil Recorder is a
+// valid, fully disabled sink.
+type Recorder = obs.Recorder
+
+// ObsSnapshot is a deterministic point-in-time copy of a recorder's
+// metrics registry.
+type ObsSnapshot = obs.Snapshot
+
+// NewRecorder returns an enabled recorder labeled label (the "run" column
+// of every export).
+func NewRecorder(label string) *Recorder { return obs.New(label) }
+
+// WriteTraceJSONL writes the spans of the given recorders as JSON lines,
+// sorted by logical identity — byte-deterministic for a deterministic
+// workload.
+func WriteTraceJSONL(w io.Writer, recs ...*Recorder) error {
+	return obs.WriteJSONLAll(w, recs...)
+}
+
+// WriteMetricsCSV writes the recorders' metrics as one CSV
+// (run,type,name,key,value).
+func WriteMetricsCSV(w io.Writer, recs ...*Recorder) error {
+	return obs.WriteMetricsCSVAll(w, recs...)
+}
+
+// WriteChromeTrace writes a Chrome trace-event JSON array covering the
+// recorders — load it in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
+	return obs.WriteChromeTrace(w, recs...)
+}

@@ -50,6 +50,11 @@ type Options struct {
 	// policy (ChurnThreshold) for FailNode/RecoverNode. Nil disables
 	// faults entirely.
 	Chaos *ChaosConfig
+	// Obs receives a span per operation plus per-node and per-level
+	// metrics (see internal/obs). Nil — the default — disables
+	// observability; instrumented paths then cost one pointer test.
+	// Exports are deterministic: see NewRecorder and the Write* methods.
+	Obs *Recorder
 }
 
 // Tracker is the public handle to a MOT directory over a sensor network:
@@ -104,6 +109,7 @@ func NewTrackerWithMetric(g *Graph, m *Metric, opt Options) (*Tracker, error) {
 		CountSpecialParentCost: opt.CountSpecialParentCost,
 		CountLBRouteCost:       opt.CountLBRouteCost,
 		CountReply:             opt.CountReply,
+		Obs:                    opt.Obs,
 	}
 	if opt.LoadBalance {
 		cfg.Placement = lb.New(ov)
@@ -152,6 +158,11 @@ func (t *Tracker) LoadByNode() []int { return t.dir.LoadByNode(t.g.N()) }
 // CheckInvariants validates the directory's global consistency (tests and
 // long-running deployments can call it at quiescent points).
 func (t *Tracker) CheckInvariants() error { return t.dir.CheckInvariants() }
+
+// ObserveLoad snapshots the current per-node storage load into the
+// tracker's recorder (Options.Obs) as the node.entries series; a no-op
+// without a recorder.
+func (t *Tracker) ObserveLoad() { t.dir.ObserveLoad(t.g.N()) }
 
 // OverlayHeight returns the number of levels (h) of the built hierarchy.
 func (t *Tracker) OverlayHeight() int { return t.ov.Height() }
