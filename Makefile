@@ -15,6 +15,10 @@
 #                  benches, the sweep-worker timing, and the observability
 #                  nil-sink/enabled ablations; part of make check so the
 #                  bench harnesses can never bit-rot
+#   make bench-json — the perf-trajectory suite (frozen vs lazy metric
+#                  reads, all-pairs precompute, substrate-cache on/off
+#                  sweep throughput) written to BENCH_05.json; CI uploads
+#                  the file as an artifact
 #
 # The -race and chaos tiers are intentionally short: they run only the
 # tests that exercise real concurrency and fault injection in the packages
@@ -32,7 +36,7 @@ CHAOS_RUN  = 'TestChaos|TestGoldenChaos|TestRaceDoubleStop'
 # above; raise the floor as coverage grows, never lower it to pass).
 COVER_MIN = 75
 
-.PHONY: check fmt vet build test race chaos lint cover bench
+.PHONY: check fmt vet build test race chaos lint cover bench bench-json
 
 check: fmt vet build test race chaos bench lint
 
@@ -71,3 +75,6 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+bench-json:
+	$(GO) run ./cmd/motsim -benchjson BENCH_05.json

@@ -273,6 +273,38 @@ func BenchmarkAblationObservability(b *testing.B) {
 	}
 }
 
+// Substrate cache off versus on over the same small sweep — the
+// cross-cell sharing ablation. "off" rebuilds the grid, all-pairs metric,
+// and hierarchy for every (size, seed) cell; "on" (the default) shares
+// one frozen substrate per topology. `make bench-json` measures the same
+// pair with cells/sec on a larger grid for the CI artifact.
+func BenchmarkAblationSubstrateCache(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.CostRatioConfig{
+				Sizes:                 []int{100},
+				Objects:               8,
+				MovesPerObject:        30,
+				Queries:               20,
+				Seeds:                 3,
+				LoadBalance:           true,
+				Workers:               1,
+				DisableSubstrateCache: off,
+			}
+			experiments.ResetSubstrateCache()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunCostRatio(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Publish cost scales with the diameter (Theorem 4.1).
 func BenchmarkPublishCost(b *testing.B) {
 	g := Grid(20, 20)

@@ -36,6 +36,13 @@
 // Artifacts are byte-identical for a given (-obs-size, -obs-seed) at any
 // -workers value; the §5 per-node load report prints to stdout. Without
 // any obs or chaos flag, motsim's figure output is unchanged.
+//
+// -benchjson runs the perf-trajectory benchmark suite instead of a
+// figure and writes a JSON report (frozen vs lazy metric reads,
+// all-pairs precompute, and a 16×16-grid sweep with the substrate cache
+// on vs off):
+//
+//	motsim -benchjson BENCH_05.json    # what `make bench-json` runs
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -138,6 +146,28 @@ func runChaos(spec string, workers int, format string) {
 	}
 }
 
+// runBenchJSON runs the perf-trajectory benchmark suite and writes the
+// JSON artifact (BENCH_05.json in CI). Progress goes to stderr so the
+// artifact file holds only the report bytes.
+func runBenchJSON(path string) {
+	fmt.Fprintln(os.Stderr, "motsim: running benchmark suite (a few seconds)...")
+	rep := bench.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: %v\n", err)
+		os.Exit(1)
+	}
+	werr := bench.WriteJSON(f, rep)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "motsim: %v\n", werr)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "motsim: wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure number (4..15) or 'all'")
 	scale := flag.Float64("scale", 0.1, "workload scale in (0,1]; 1 = the paper's full setting")
@@ -149,10 +179,15 @@ func main() {
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	obsSize := flag.Int("obs-size", 256, "sensor count of the observability sweep (16x16 grid by default)")
 	obsSeed := flag.Int64("obs-seed", 0, "base seed of the observability sweep")
+	benchJSON := flag.String("benchjson", "", "run the substrate/harness benchmark suite and write BENCH_05-style JSON to this file")
 	list := flag.Bool("list", false, "list available figures and exit")
 	quiet := flag.Bool("quiet", false, "suppress the per-figure wall-clock summary")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		runBenchJSON(*benchJSON)
+		return
+	}
 	if *chaosSpec != "" {
 		runChaos(*chaosSpec, *workers, *format)
 		return

@@ -1,0 +1,159 @@
+// Package bench runs the substrate and harness benchmark suite behind
+// `make bench-json` / `motsim -benchjson` and renders it as a
+// machine-readable JSON artifact (BENCH_05.json) so CI can track the
+// perf trajectory release over release.
+//
+// The suite pins the claims the frozen-metric work makes: the frozen
+// Dist path is allocation-free and much cheaper than the lazy
+// RWMutex+map path, Precompute's scratch reuse keeps the all-pairs fill
+// lean, and the experiments substrate cache turns repeated same-topology
+// sweep cells from O(n²·log n) rebuilds into lookups (cells/sec,
+// cache-on vs cache-off, on a 16×16-grid sweep).
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+// Result is one benchmark's outcome in flat, diff-friendly units.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the full artifact. Schema names the layout so downstream
+// tooling can detect format changes.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// sink defeats dead-code elimination in the measurement loops.
+var sink float64
+
+func toResult(name string, r testing.BenchmarkResult, extra map[string]float64) Result {
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Extra:       extra,
+	}
+}
+
+// distFrozen measures the lock-free frozen read path (the acceptance
+// criterion: 0 allocs/op).
+func distFrozen() Result {
+	g := graph.Grid(32, 32)
+	m := graph.NewMetric(g)
+	m.Precompute(0)
+	n := g.N()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		acc := 0.0
+		for i := 0; i < b.N; i++ {
+			acc += m.Dist(graph.NodeID(i%n), graph.NodeID((i*31)%n))
+		}
+		sink = acc
+	})
+	return toResult("metric/dist-frozen", r, nil)
+}
+
+// distLazy measures the pre-freeze RWMutex+map path for comparison; it
+// touches only a few source rows so the metric never auto-freezes.
+func distLazy() Result {
+	g := graph.Grid(32, 32)
+	m := graph.NewMetric(g)
+	n := g.N()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		acc := 0.0
+		for i := 0; i < b.N; i++ {
+			acc += m.Dist(graph.NodeID(i%8), graph.NodeID((i*31)%n))
+		}
+		sink = acc
+	})
+	return toResult("metric/dist-lazy", r, nil)
+}
+
+// precompute measures a cold all-pairs fill + freeze of a 16×16 grid.
+func precompute() Result {
+	g := graph.Grid(16, 16)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := graph.NewMetric(g)
+			m.Precompute(0)
+		}
+	})
+	return toResult("metric/precompute-256", r, nil)
+}
+
+// sweep measures a 16×16-grid cost-ratio sweep (4 seeded cells) with the
+// substrate cache on or off, reporting cells/sec. The cache is reset
+// first either way, so the cache-on number includes one cold build
+// amortized over all measured cells.
+func sweep(name string, disable bool) Result {
+	cfg := experiments.CostRatioConfig{
+		Sizes:                 []int{256},
+		Objects:               6,
+		MovesPerObject:        30,
+		Queries:               20,
+		Seeds:                 4,
+		LoadBalance:           true,
+		Workers:               1,
+		DisableSubstrateCache: disable,
+	}
+	cells := len(cfg.Sizes) * cfg.Seeds
+	experiments.ResetSubstrateCache()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunCostRatio(cfg); err != nil {
+				panic(err)
+			}
+		}
+	})
+	extra := map[string]float64{
+		"cells":         float64(cells),
+		"cells_per_sec": float64(r.N*cells) / r.T.Seconds(),
+	}
+	return toResult(name, r, extra)
+}
+
+// Run executes the whole suite. It takes a few seconds.
+func Run() *Report {
+	return &Report{
+		Schema:     "mot-bench/v1",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: []Result{
+			distFrozen(),
+			distLazy(),
+			precompute(),
+			sweep("sweep/256-cache-on", false),
+			sweep("sweep/256-cache-off", true),
+		},
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/mobility"
 	motruntime "repro/internal/runtime"
@@ -48,6 +47,9 @@ type ChaosConfig struct {
 	// Workers bounds the pool running schedules concurrently; any value
 	// yields byte-identical results.
 	Workers int
+	// DisableSubstrateCache makes every schedule rebuild its own grid,
+	// metric, and hierarchy instead of sharing the substrate cache.
+	DisableSubstrateCache bool
 }
 
 // fillRate defaults a zero rate and clamps negative ("disabled") to 0.
@@ -158,9 +160,7 @@ func runChaosSchedule(cfg ChaosConfig, idx int) (ChaosSchedule, error) {
 	seed := mobility.StreamSeed(cfg.BaseSeed, cfg.Size, idx)
 	out := ChaosSchedule{Index: idx, Seed: seed}
 
-	g := graph.NearSquareGrid(cfg.Size)
-	m := graph.NewMetric(g)
-	m.Precompute(0)
+	g, m := gridSubstrate(cfg.Size, cfg.DisableSubstrateCache)
 	w, err := mobility.Generate(g, m, mobility.Config{
 		Objects:        cfg.Objects,
 		MovesPerObject: cfg.MovesPerObject,
@@ -170,7 +170,7 @@ func runChaosSchedule(cfg ChaosConfig, idx int) (ChaosSchedule, error) {
 	if err != nil {
 		return out, err
 	}
-	hs, err := hier.Build(g, m, hier.Config{Seed: seed, SpecialParentOffset: 2})
+	hs, err := hierSubstrate(cfg.Size, g, m, hier.Config{Seed: seed, SpecialParentOffset: 2}, cfg.DisableSubstrateCache)
 	if err != nil {
 		return out, err
 	}

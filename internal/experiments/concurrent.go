@@ -11,14 +11,14 @@ import (
 // runConcurrentAll drives the workload through the discrete-event
 // simulator for the four algorithms (Figs. 12–15 setting: bursts of up to
 // 10 concurrent operations per object, queries overlapping maintenance).
-func runConcurrentAll(cfg CostRatioConfig, g *graph.Graph, m *graph.Metric, w *mobility.Workload, rates map[mobility.EdgeKey]float64, seed int64) ([]core.CostMeter, error) {
+func runConcurrentAll(cfg CostRatioConfig, n int, g *graph.Graph, m *graph.Metric, w *mobility.Workload, rates map[mobility.EdgeKey]float64, seed int64) ([]core.CostMeter, error) {
 	meters := make([]core.CostMeter, len(Algorithms))
 	diam := m.Diameter()
 	dcfg := sim.DriverConfig{Concurrency: cfg.Concurrency, Diameter: diam, Seed: seed}
 
 	// MOT on the event simulator. The concurrent simulator requires the
 	// single-parent overlay (Algorithm 1's simple form).
-	hs, err := hier.Build(g, m, hier.Config{Seed: seed, SpecialParentOffset: 2})
+	hs, err := hierSubstrate(n, g, m, hier.Config{Seed: seed, SpecialParentOffset: 2}, cfg.DisableSubstrateCache)
 	if err != nil {
 		return nil, err
 	}

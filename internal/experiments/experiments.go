@@ -74,9 +74,16 @@ type CostRatioConfig struct {
 	BaseSeed int64
 	// Workers bounds the worker pool running sweep cells concurrently.
 	// Zero or negative means one worker per CPU (runtime.GOMAXPROCS).
-	// Any value yields byte-identical results: cells share nothing and
-	// are merged in (size, seedIndex) order regardless of scheduling.
+	// Any value yields byte-identical results: cells share only immutable
+	// substrates and are merged in (size, seedIndex) order regardless of
+	// scheduling.
 	Workers int
+	// DisableSubstrateCache makes every cell rebuild its own grid, metric,
+	// and hierarchy instead of sharing the per-topology substrate cache.
+	// Output is byte-identical either way (the cache holds only immutable
+	// values); this exists for benchmarking the cache's win and as an
+	// escape hatch.
+	DisableSubstrateCache bool
 }
 
 func (c *CostRatioConfig) fill() {
@@ -230,9 +237,7 @@ func runCells(cfg CostRatioConfig, cells []sweepCell) ([][]core.CostMeter, error
 // drives workload generation, hierarchy construction, and the concurrent
 // scheduler, so the cell is fully reproducible in isolation.
 func runOne(cfg CostRatioConfig, n int, seed int64) ([]core.CostMeter, error) {
-	g := graph.NearSquareGrid(n)
-	m := graph.NewMetric(g)
-	m.Precompute(0)
+	g, m := gridSubstrate(n, cfg.DisableSubstrateCache)
 	w, err := mobility.Generate(g, m, mobility.Config{
 		Objects:        cfg.Objects,
 		MovesPerObject: cfg.MovesPerObject,
@@ -245,14 +250,14 @@ func runOne(cfg CostRatioConfig, n int, seed int64) ([]core.CostMeter, error) {
 	}
 	rates := w.DetectionRates(g)
 	if cfg.Concurrent {
-		return runConcurrentAll(cfg, g, m, w, rates, seed)
+		return runConcurrentAll(cfg, n, g, m, w, rates, seed)
 	}
-	return runOneByOneAll(cfg, g, m, w, rates, seed)
+	return runOneByOneAll(cfg, n, g, m, w, rates, seed)
 }
 
 // runOneByOneAll replays the workload on the four directories sequentially.
-func runOneByOneAll(cfg CostRatioConfig, g *graph.Graph, m *graph.Metric, w *mobility.Workload, rates map[mobility.EdgeKey]float64, seed int64) ([]core.CostMeter, error) {
-	hs, err := hier.Build(g, m, hier.Config{Seed: seed, SpecialParentOffset: 2, UseParentSets: cfg.UseParentSets})
+func runOneByOneAll(cfg CostRatioConfig, n int, g *graph.Graph, m *graph.Metric, w *mobility.Workload, rates map[mobility.EdgeKey]float64, seed int64) ([]core.CostMeter, error) {
+	hs, err := hierSubstrate(n, g, m, hier.Config{Seed: seed, SpecialParentOffset: 2, UseParentSets: cfg.UseParentSets}, cfg.DisableSubstrateCache)
 	if err != nil {
 		return nil, err
 	}

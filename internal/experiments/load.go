@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/lb"
 	"repro/internal/mobility"
@@ -35,6 +34,9 @@ type LoadConfig struct {
 	// so Workers>1 runs them on separate goroutines; the result is
 	// identical either way. Zero or negative means runtime.GOMAXPROCS.
 	Workers int
+	// DisableSubstrateCache rebuilds the grid, metric, and hierarchy for
+	// this run instead of sharing the per-topology substrate cache.
+	DisableSubstrateCache bool
 }
 
 func (c *LoadConfig) fill() {
@@ -63,9 +65,7 @@ type LoadResult struct {
 // load > 10 (zero for MOT, positive for STUN and Z-DAT).
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg.fill()
-	g := graph.NearSquareGrid(cfg.Nodes)
-	m := graph.NewMetric(g)
-	m.Precompute(0)
+	g, m := gridSubstrate(cfg.Nodes, cfg.DisableSubstrateCache)
 	w, err := mobility.Generate(g, m, mobility.Config{
 		Objects:        cfg.Objects,
 		MovesPerObject: cfg.MovesPerObject,
@@ -81,7 +81,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	// its own replay, so the result is the same either way.
 	var motLoad, baseLoad []int
 	motSide := func() error {
-		hs, err := hier.Build(g, m, hier.Config{Seed: cfg.Seed, SpecialParentOffset: 2})
+		hs, err := hierSubstrate(cfg.Nodes, g, m, hier.Config{Seed: cfg.Seed, SpecialParentOffset: 2}, cfg.DisableSubstrateCache)
 		if err != nil {
 			return err
 		}

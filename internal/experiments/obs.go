@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/lb"
 	"repro/internal/mobility"
@@ -43,9 +42,13 @@ type ObsConfig struct {
 	MovesPerObject int
 	Queries        int
 	// Workers bounds the pool running the four runs concurrently. Runs
-	// share nothing (each rebuilds grid, metric, workload, and hierarchy
-	// from the same seed), so any value yields byte-identical recorders.
+	// share only immutable substrates (each derives its own workload and
+	// recorder from the same seed), so any value yields byte-identical
+	// recorders.
 	Workers int
+	// DisableSubstrateCache makes every run rebuild its own grid, metric,
+	// and hierarchy instead of sharing the substrate cache.
+	DisableSubstrateCache bool
 }
 
 func (c *ObsConfig) fill() {
@@ -136,12 +139,12 @@ func RunObs(cfg ObsConfig) (*ObsResult, error) {
 }
 
 // runObsOne replays the seeded workload on one substrate under a fresh
-// recorder. Every run rebuilds its own grid, metric, workload, and
-// hierarchy from seed, so it is fully reproducible in isolation.
+// recorder. The grid, metric, and hierarchy come from the shared
+// substrate cache (all four runs use the same seed, so they share one
+// hierarchy); each run still derives its own workload and recorder from
+// seed, so it is fully reproducible in isolation.
 func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, error) {
-	g := graph.NearSquareGrid(cfg.Size)
-	m := graph.NewMetric(g)
-	m.Precompute(0)
+	g, m := gridSubstrate(cfg.Size, cfg.DisableSubstrateCache)
 	w, err := mobility.Generate(g, m, mobility.Config{
 		Objects:        cfg.Objects,
 		MovesPerObject: cfg.MovesPerObject,
@@ -151,7 +154,7 @@ func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, error) {
 	if err != nil {
 		return nil, err
 	}
-	hs, err := hier.Build(g, m, hier.Config{Seed: seed, SpecialParentOffset: 2})
+	hs, err := hierSubstrate(cfg.Size, g, m, hier.Config{Seed: seed, SpecialParentOffset: 2}, cfg.DisableSubstrateCache)
 	if err != nil {
 		return nil, err
 	}

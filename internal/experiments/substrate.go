@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+)
+
+// SubstrateCache shares the expensive immutable inputs of sweep cells.
+// Every harness in this package runs cells on near-square grids, and a
+// cell's grid, frozen metric, and hierarchy are pure functions of the
+// requested size (and, for the hierarchy, the hier.Config): cells that
+// agree on those can reuse one instance across seeds and workers instead
+// of redoing the O(n²·log n) all-pairs fill per cell.
+//
+// Sharing cannot perturb results: graphs are never mutated after
+// construction, a frozen *graph.Metric is immutable and lock-free (see
+// graph.Metric), and *hier.Hierarchy is read-only after Build apart from
+// its internally synchronized detection-path cache, whose entries are
+// deterministic regardless of which cell fills them first. The golden
+// Workers=1≡N byte-identity tests run with the cache enabled and pin
+// this.
+//
+// Entries are never evicted — the paper's sweeps touch a handful of
+// sizes, each worth one n×n float64 table — but Reset drops everything
+// (benchmarks use it to measure cold builds).
+type SubstrateCache struct {
+	mu    sync.Mutex
+	grids map[int]*gridEntry
+	hiers map[hierKey]*hierEntry
+}
+
+// Entries carry their own once so builds run outside the cache lock:
+// two cells racing on different sizes build concurrently, two racing on
+// the same size share one build.
+type gridEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	m    *graph.Metric
+}
+
+type hierKey struct {
+	n   int // requested grid size, not g.N()
+	cfg hier.Config
+}
+
+type hierEntry struct {
+	once sync.Once
+	hs   *hier.Hierarchy
+	err  error
+}
+
+// NewSubstrateCache returns an empty cache.
+func NewSubstrateCache() *SubstrateCache {
+	return &SubstrateCache{grids: make(map[int]*gridEntry), hiers: make(map[hierKey]*hierEntry)}
+}
+
+// defaultSubstrates backs every harness unless its config sets
+// DisableSubstrateCache.
+var defaultSubstrates = NewSubstrateCache()
+
+// ResetSubstrateCache drops every entry of the package-level cache.
+func ResetSubstrateCache() { defaultSubstrates.Reset() }
+
+// Reset drops every cached substrate.
+func (c *SubstrateCache) Reset() {
+	c.mu.Lock()
+	c.grids = make(map[int]*gridEntry)
+	c.hiers = make(map[hierKey]*hierEntry)
+	c.mu.Unlock()
+}
+
+// Grid returns the shared near-square grid for requested size n together
+// with its frozen metric, building both on first use.
+func (c *SubstrateCache) Grid(n int) (*graph.Graph, *graph.Metric) {
+	c.mu.Lock()
+	e, ok := c.grids[n]
+	if !ok {
+		e = &gridEntry{}
+		c.grids[n] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.g = graph.NearSquareGrid(n)
+		e.m = graph.NewMetric(e.g)
+		e.m.Precompute(0)
+	})
+	return e.g, e.m
+}
+
+// GridHierarchy returns the shared hierarchy built over Grid(n) with cfg,
+// or Build's error (also cached: a failing (n, cfg) fails every cell the
+// same way).
+func (c *SubstrateCache) GridHierarchy(n int, cfg hier.Config) (*hier.Hierarchy, error) {
+	key := hierKey{n: n, cfg: cfg}
+	c.mu.Lock()
+	e, ok := c.hiers[key]
+	if !ok {
+		e = &hierEntry{}
+		c.hiers[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		g, m := c.Grid(n)
+		e.hs, e.err = hier.Build(g, m, cfg)
+	})
+	return e.hs, e.err
+}
+
+// gridSubstrate resolves a cell's grid and frozen metric, from the shared
+// cache unless disabled.
+func gridSubstrate(n int, disable bool) (*graph.Graph, *graph.Metric) {
+	if disable {
+		g := graph.NearSquareGrid(n)
+		m := graph.NewMetric(g)
+		m.Precompute(0)
+		return g, m
+	}
+	return defaultSubstrates.Grid(n)
+}
+
+// hierSubstrate resolves a cell's hierarchy for the grid of requested
+// size n. With the cache enabled the hierarchy is built over (and
+// therefore shares) the cached grid and metric; g and m are only used
+// when the cache is disabled, and must then be the cell's own.
+func hierSubstrate(n int, g *graph.Graph, m *graph.Metric, cfg hier.Config, disable bool) (*hier.Hierarchy, error) {
+	if disable {
+		return hier.Build(g, m, cfg)
+	}
+	return defaultSubstrates.GridHierarchy(n, cfg)
+}

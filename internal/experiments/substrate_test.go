@@ -1,0 +1,126 @@
+package experiments
+
+// Tests for the per-topology substrate cache: pointer identity (cells
+// actually share one metric/hierarchy), byte-identical output with the
+// cache on versus off, and race-freedom of concurrent cache access
+// (TestRaceSubstrateCacheShared runs in the -race smoke tier).
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/runtime/track"
+)
+
+func TestSubstrateCacheIdentity(t *testing.T) {
+	c := NewSubstrateCache()
+	g1, m1 := c.Grid(36)
+	g2, m2 := c.Grid(36)
+	if g1 != g2 || m1 != m2 {
+		t.Fatal("same-size Grid calls returned distinct substrates")
+	}
+	if !m1.Frozen() {
+		t.Fatal("cached metric is not frozen")
+	}
+	if g3, _ := c.Grid(16); g3 == g1 {
+		t.Fatal("different sizes share a grid")
+	}
+
+	cfg := hier.Config{Seed: 7, SpecialParentOffset: 2}
+	h1, err := c.GridHierarchy(36, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.GridHierarchy(36, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("same (size, config) hierarchies are distinct")
+	}
+	if h1.Metric() != m1 {
+		t.Fatal("cached hierarchy was not built over the cached metric")
+	}
+	hOther, err := c.GridHierarchy(36, hier.Config{Seed: 8, SpecialParentOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hOther == h1 {
+		t.Fatal("different seeds share a hierarchy")
+	}
+
+	c.Reset()
+	if g4, _ := c.Grid(36); g4 == g1 {
+		t.Fatal("Reset did not drop the grid entry")
+	}
+
+	// Disabled path always builds fresh.
+	ga, ma := gridSubstrate(36, true)
+	gb, mb := gridSubstrate(36, true)
+	if ga == gb || ma == mb {
+		t.Fatal("disabled substrate cache still shared instances")
+	}
+}
+
+// TestGoldenSubstrateCacheOffMatchesOn pins that sharing substrates
+// cannot perturb sweep output: a cache-disabled run renders byte-for-byte
+// the same figures as the default cached run, sequentially and in
+// parallel.
+func TestGoldenSubstrateCacheOffMatchesOn(t *testing.T) {
+	on, err := RunCostRatio(goldenConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := goldenConfig(4)
+	offCfg.DisableSubstrateCache = true
+	off, err := RunCostRatio(offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderCost(on), renderCost(off)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("substrate cache changed sweep output:\n--- cache on\n%s--- cache off\n%s", a, b)
+	}
+}
+
+// TestRaceSubstrateCacheShared hammers one cache from several goroutines;
+// under -race this proves concurrent cells can share a frozen metric and
+// a hierarchy (detection-path cache included) without data races.
+func TestRaceSubstrateCacheShared(t *testing.T) {
+	c := NewSubstrateCache()
+	cfg := hier.Config{Seed: 3, SpecialParentOffset: 2}
+	type got struct {
+		h   *hier.Hierarchy
+		err error
+	}
+	const goroutines = 6
+	results := make([]got, goroutines)
+	var pool track.Group
+	for i := 0; i < goroutines; i++ {
+		pool.Go(func() {
+			g, m := c.Grid(25)
+			h, err := c.GridHierarchy(25, cfg)
+			if err == nil {
+				// Exercise shared read paths under race: frozen rows,
+				// diameter, and the hierarchy's path cache.
+				_ = m.Diameter()
+				_ = m.Row(0)
+				for u := 0; u < g.N(); u++ {
+					_ = h.DPath(graph.NodeID(u))
+				}
+			}
+			results[i] = got{h: h, err: err}
+		})
+	}
+	pool.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("goroutine %d: %v", i, r.err)
+		}
+		if r.h != results[0].h {
+			t.Fatal("concurrent GridHierarchy calls returned distinct hierarchies")
+		}
+	}
+}

@@ -31,8 +31,9 @@ func SteinerApprox(m *Metric, terminals []NodeID) float64 {
 	const unvisited = -1
 	inTree := make([]bool, len(uniq))
 	best := make([]float64, len(uniq))
+	row0 := m.Row(uniq[0])
 	for i := range best {
-		best[i] = m.Dist(uniq[0], uniq[i])
+		best[i] = row0[uniq[i]]
 	}
 	inTree[0] = true
 	total := 0.0

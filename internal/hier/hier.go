@@ -60,6 +60,7 @@ type Hierarchy struct {
 	// parentSet[l][u] = parent set in V_(l+1) of u in V_l, ID-sorted.
 	parentSet []map[graph.NodeID][]graph.NodeID
 
+	rhoOnce sync.Once
 	rho     float64
 	sigma   int
 	pathsMu sync.RWMutex
@@ -128,8 +129,9 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 		for _, u := range cur {
 			best, bestD := graph.Undefined, math.Inf(1)
 			var set []graph.NodeID
+			row := m.Row(u)
 			for _, p := range up {
-				d := m.Dist(u, p)
+				d := row[p]
 				if d < bestD || (d == bestD && p < best) {
 					best, bestD = p, d
 				}
@@ -158,19 +160,16 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 		hs.parentSet[l] = ps
 	}
 
-	// Doubling constant and special-parent offset.
-	samples := cfg.RhoSamples
-	if samples <= 0 {
-		samples = 32
-	}
-	hs.rho = m.DoublingEstimate(samples)
+	// Special-parent offset. Only the theoretical default needs the
+	// measured doubling constant; an explicit or disabled offset skips
+	// that O(n²) estimate entirely — Rho() still computes it on demand.
 	switch {
 	case cfg.SpecialParentOffset > 0:
 		hs.sigma = cfg.SpecialParentOffset
 	case cfg.SpecialParentOffset < 0:
 		hs.sigma = 0 // special parents disabled (ablation)
 	default:
-		hs.sigma = 3*int(math.Ceil(hs.rho)) + 6
+		hs.sigma = 3*int(math.Ceil(hs.Rho())) + 6
 	}
 	return hs, nil
 }
@@ -209,8 +208,20 @@ func (hs *Hierarchy) Metric() *graph.Metric { return hs.m }
 // SpecialOffset returns sigma.
 func (hs *Hierarchy) SpecialOffset() int { return hs.sigma }
 
-// Rho returns the measured doubling-dimension estimate.
-func (hs *Hierarchy) Rho() float64 { return hs.rho }
+// Rho returns the measured doubling-dimension estimate, computed on
+// first use and cached (Build itself only needs it when deriving sigma,
+// so hierarchies with an explicit SpecialParentOffset never pay for it
+// unless asked). Safe for concurrent use.
+func (hs *Hierarchy) Rho() float64 {
+	hs.rhoOnce.Do(func() {
+		samples := hs.cfg.RhoSamples
+		if samples <= 0 {
+			samples = 32
+		}
+		hs.rho = hs.m.DoublingEstimate(samples)
+	})
+	return hs.rho
+}
 
 // LevelNodes returns V_l (shared slice; do not modify).
 func (hs *Hierarchy) LevelNodes(l int) []graph.NodeID {
@@ -334,7 +345,8 @@ func (hs *Hierarchy) Validate() error {
 		bound := math.Pow(2, float64(l+1))
 		for _, u := range hs.levels[l] {
 			dp := hs.defaultParent[l][u]
-			if d := hs.m.Dist(u, dp); d > bound {
+			row := hs.m.Row(u)
+			if d := row[dp]; d > bound {
 				return fmt.Errorf("hier: default parent of %d at level %d is %v away (> %v)", u, l, d, bound)
 			}
 			set := hs.parentSet[l][u]
@@ -343,7 +355,7 @@ func (hs *Hierarchy) Validate() error {
 				if p == dp {
 					foundDP = true
 				}
-				if d := hs.m.Dist(u, p); d > 4*bound {
+				if d := row[p]; d > 4*bound {
 					return fmt.Errorf("hier: parent-set member %d of %d at level %d is %v away (> %v)", p, u, l, d, 4*bound)
 				}
 				if i > 0 && set[i-1] >= p {
@@ -376,7 +388,7 @@ func (hs *Hierarchy) Stats() Stats {
 	for l := range hs.levels {
 		sizes[l] = len(hs.levels[l])
 	}
-	return Stats{Height: hs.h, LevelSizes: sizes, Rho: hs.rho, Sigma: hs.sigma, Root: hs.root}
+	return Stats{Height: hs.h, LevelSizes: sizes, Rho: hs.Rho(), Sigma: hs.sigma, Root: hs.root}
 }
 
 var _ overlay.Overlay = (*Hierarchy)(nil)

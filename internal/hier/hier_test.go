@@ -362,3 +362,44 @@ func BenchmarkDPathGrid32(b *testing.B) {
 		hs.DPath(graph.NodeID(i % g.N()))
 	}
 }
+
+// TestRhoLazyWithExplicitOffset pins the Build fix: with an explicit
+// SpecialParentOffset, Build no longer pays for the O(n²) doubling
+// estimate, but Rho() still computes it on demand, caches it, and feeds
+// Stats the same value.
+func TestRhoLazyWithExplicitOffset(t *testing.T) {
+	g := graph.Grid(6, 6)
+	hs := build(t, g, Config{Seed: 1, SpecialParentOffset: 2})
+	if hs.SpecialOffset() != 2 {
+		t.Fatalf("sigma = %d, want 2", hs.SpecialOffset())
+	}
+	r1 := hs.Rho()
+	if r1 <= 0 || math.IsInf(r1, 1) {
+		t.Fatalf("Rho() = %v, want finite positive on a grid", r1)
+	}
+	if r2 := hs.Rho(); r2 != r1 {
+		t.Fatalf("Rho() not cached: %v then %v", r1, r2)
+	}
+	if s := hs.Stats(); s.Rho != r1 {
+		t.Fatalf("Stats().Rho = %v, want %v", s.Rho, r1)
+	}
+	// The derived-sigma default still works and uses the same estimate.
+	auto := build(t, g, Config{Seed: 1})
+	want := 3*int(math.Ceil(auto.Rho())) + 6
+	if auto.SpecialOffset() != want {
+		t.Fatalf("derived sigma = %d, want %d", auto.SpecialOffset(), want)
+	}
+}
+
+// TestBuildRejectsTwoNontrivialComponents extends the disconnected error
+// path beyond the isolated-vertex case.
+func TestBuildRejectsTwoNontrivialComponents(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	if _, err := Build(g, graph.NewMetric(g), Config{Seed: 1, SpecialParentOffset: 2}); err == nil {
+		t.Fatal("two-component graph accepted")
+	}
+}

@@ -51,6 +51,11 @@ type Config struct {
 	// rule entirely (none by default — prefer a //motlint:ignore with a
 	// reason at the loop, or a sorted-keys helper).
 	MapRangeAllowed []string
+
+	// DistLoopAllowed lists library packages exempt from the distloop
+	// rule (none by default — hot loops should hoist the Metric row via
+	// Row and index it rather than calling Dist per iteration).
+	DistLoopAllowed []string
 }
 
 // Default is this repository's lint policy, referenced by cmd/motlint and
@@ -64,6 +69,7 @@ func Default() Config {
 		PrintAllowed:      []string{"repro/internal/report"},
 		PrintAllowedFiles: []string{"repro/internal/obs/export.go"},
 		MapRangeAllowed:   nil,
+		DistLoopAllowed:   nil,
 	}
 }
 

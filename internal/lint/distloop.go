@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DistLoop flags Metric.Dist calls inside a loop whose source argument
+// is loop-invariant. Before a metric freezes, every Dist call pays an
+// RWMutex acquisition plus a map lookup to find the source row; a loop
+// probing many targets from one source repeats that work per iteration.
+// The fix is the Row idiom: hoist `row := m.Row(u)` above the loop and
+// index `row[v]`, which pins the row lookup to one call (and reads the
+// frozen flat table directly once the metric is frozen).
+//
+// The rule is deliberately conservative: it only fires when the call is
+// directly inside a for/range statement (not nested deeper in another
+// loop or function literal, which are analyzed on their own) and both
+// the receiver and the first argument are invariant with respect to that
+// loop — built from identifiers that are neither declared inside the
+// loop nor assigned anywhere in its body, with no function calls.
+var DistLoop = &Analyzer{
+	Name: "distloop",
+	Doc:  "hoist loop-invariant Metric.Dist sources: row := m.Row(u) before the loop, then row[v]",
+	Run: func(p *Pass) {
+		if p.Cfg.isDriver(p.Path) || pathAllowed(p.Cfg.DistLoopAllowed, p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					switch loop := n.(type) {
+					case *ast.ForStmt:
+						checkDistLoop(p, loop, loop.Body)
+					case *ast.RangeStmt:
+						checkDistLoop(p, loop, loop.Body)
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// checkDistLoop scans one loop body for Dist calls that belong directly
+// to this loop (nested loops and function literals are skipped here —
+// the enclosing Inspect visits them as their own loops).
+func checkDistLoop(p *Pass, loop ast.Node, body *ast.BlockStmt) {
+	// Scan the whole loop statement (init/post/key/value included) so
+	// `for u = 0; u < n; u++` marks u as loop-varying too.
+	assigned := assignedObjects(p, loop)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch inner := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			_ = inner
+			return false
+		case *ast.CallExpr:
+			sel, ok := inner.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Dist" || len(inner.Args) < 2 {
+				return true
+			}
+			if !isMetricReceiver(p, sel.X) {
+				return true
+			}
+			if !loopInvariant(p, loop, assigned, sel.X) || !loopInvariant(p, loop, assigned, inner.Args[0]) {
+				return true
+			}
+			p.Reportf(inner.Pos(),
+				"Metric.Dist with loop-invariant source inside a loop re-resolves the row each iteration; hoist row := m.Row(src) before the loop and index row[target]")
+		}
+		return true
+	})
+}
+
+// isMetricReceiver reports whether expr's type is a (pointer to a) named
+// type called Metric. Matching by name rather than by import path lets
+// the testdata fixtures — which cannot import module packages — declare
+// their own Metric.
+func isMetricReceiver(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Metric"
+}
+
+// assignedObjects collects every object assigned (or ++/--'d) anywhere
+// in the loop, including nested loops and function literals — any write
+// makes an identifier loop-varying for the enclosing loop too.
+func assignedObjects(p *Pass, root ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.RangeStmt:
+			record(n.Key)
+			record(n.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// loopInvariant reports whether expr cannot change across iterations of
+// loop: it contains no function calls, and every identifier it uses is
+// declared outside the loop and never assigned in its body. Loop
+// variables of the for/range statement itself are declared within
+// [loop.Pos(), loop.End()], so they fail the position test.
+func loopInvariant(p *Pass, loop ast.Node, assigned map[types.Object]bool, expr ast.Expr) bool {
+	invariant := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			invariant = false
+			return false
+		case *ast.Ident:
+			obj := p.Info.Uses[n]
+			if obj == nil {
+				obj = p.Info.Defs[n]
+			}
+			if obj == nil {
+				return true
+			}
+			if pos := obj.Pos(); pos.IsValid() && pos >= loop.Pos() && pos <= loop.End() {
+				invariant = false
+				return false
+			}
+			if assigned[obj] {
+				invariant = false
+				return false
+			}
+		}
+		return true
+	})
+	return invariant
+}

@@ -13,6 +13,7 @@
 //	walltime    simulation library code never reads the wall clock
 //	barego      goroutines launch via internal/runtime/track.Group only
 //	printlib    library code writes to an io.Writer, never os.Stdout
+//	distloop    loop-invariant Metric.Dist sources hoist to Row + index
 //
 // A finding can be waived in place with a reasoned directive:
 //
@@ -82,7 +83,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, GlobalRand, WallTime, BareGo, PrintLib}
+	return []*Analyzer{MapRange, GlobalRand, WallTime, BareGo, PrintLib, DistLoop}
 }
 
 // Runner loads, type-checks, and lints packages. It caches packages

@@ -1,0 +1,91 @@
+// Package fixture seeds positive and negative cases for the distloop
+// rule. Fixtures cannot import module packages, so it declares its own
+// Metric with the same method shapes as repro/internal/graph.Metric.
+package fixture
+
+// Metric mimics graph.Metric's query surface.
+type Metric struct{ n int }
+
+// Dist returns a fake distance.
+func (m *Metric) Dist(u, v int) float64 { return float64(v - u) }
+
+// Row returns a fake distance row.
+func (m *Metric) Row(u int) []float64 { return make([]float64, m.n) }
+
+// source returns a loop-varying node.
+func source(i int) int { return i % 7 }
+
+// sumFromAnchor is a positive: the first argument is loop-invariant, so
+// every iteration re-resolves the same row.
+func sumFromAnchor(m *Metric, anchor int, targets []int) float64 {
+	total := 0.0
+	for _, v := range targets {
+		total += m.Dist(anchor, v)
+	}
+	return total
+}
+
+// sumHoisted is the negative fix: one Row call, indexed in the loop.
+func sumHoisted(m *Metric, anchor int, targets []int) float64 {
+	total := 0.0
+	row := m.Row(anchor)
+	for _, v := range targets {
+		total += row[v]
+	}
+	return total
+}
+
+// sumPairwise is a negative: the source varies with the loop.
+func sumPairwise(m *Metric, nodes []int) float64 {
+	total := 0.0
+	for _, u := range nodes {
+		total += m.Dist(u, nodes[0])
+	}
+	return total
+}
+
+// sumWalk is a negative: the source is reassigned inside the loop.
+func sumWalk(m *Metric, start int, steps []int) float64 {
+	total := 0.0
+	prev := start
+	for _, v := range steps {
+		total += m.Dist(prev, v)
+		prev = v
+	}
+	return total
+}
+
+// sumCalls is a negative: a call argument may change per iteration.
+func sumCalls(m *Metric, k int) float64 {
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += m.Dist(source(i), i)
+	}
+	return total
+}
+
+// onceOutside is a negative: no loop at all.
+func onceOutside(m *Metric, u, v int) float64 {
+	return m.Dist(u, v)
+}
+
+// manualCounter is a negative: `for u = 0; ...; u++` marks u varying via
+// the post statement even though u is declared outside the loop.
+func manualCounter(m *Metric, k int) float64 {
+	total := 0.0
+	var u int
+	for u = 0; u < k; u++ {
+		total += m.Dist(u, 0)
+	}
+	return total
+}
+
+// waived is a negative: the escape hatch with a reason.
+func waived(m *Metric, anchor int, targets []int) float64 {
+	total := 0.0
+	for _, v := range targets {
+		//motlint:ignore distloop fixture demonstrating the escape hatch
+		total += m.Dist(anchor, v)
+	}
+	return total
+}

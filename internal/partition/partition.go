@@ -88,7 +88,9 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 	hs.home = append(hs.home, home0)
 
 	// Higher levels: sparse covers of radius-2^l balls until a single
-	// cluster holds everything.
+	// cluster holds everything. Forcing the diameter here freezes the
+	// metric up front, so every Row/Ball below reads the flat table.
+	diam := m.Diameter()
 	maxIter := int(math.Ceil(math.Log2(float64(n)))) + 1
 	for l := 1; ; l++ {
 		r := math.Pow(2, float64(l))
@@ -124,7 +126,7 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 			hs.h = l
 			break
 		}
-		if r > 4*m.Diameter()+4 {
+		if r > 4*diam+4 {
 			return nil, fmt.Errorf("partition: cover did not converge to one cluster by level %d", l)
 		}
 	}

@@ -88,6 +88,17 @@ func Ring(n int) *Graph { return graph.Ring(n) }
 // be mutated afterwards.
 func NewMetric(g *Graph) *Metric { return graph.NewMetric(g) }
 
+// NewFrozenMetric returns the oracle with the full all-pairs table
+// already computed and frozen: every subsequent Dist/Row/Ball read is
+// lock-free and allocation-free, and the metric can be shared freely
+// across goroutines (long-lived trackers and sweep harnesses want this;
+// one-shot small-graph uses can stay lazy with NewMetric).
+func NewFrozenMetric(g *Graph) *Metric {
+	m := graph.NewMetric(g)
+	m.Precompute(0)
+	return m
+}
+
 // RandomGeometricGraph scatters n sensors uniformly over a side×side field
 // and connects pairs within the radio radius (weights are Euclidean
 // distances, normalized); it retries with a grown radius until connected.
