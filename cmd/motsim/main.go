@@ -39,10 +39,22 @@
 //
 // -benchjson runs the perf-trajectory benchmark suite instead of a
 // figure and writes a JSON report (frozen vs lazy metric reads,
-// all-pairs precompute, and a 16×16-grid sweep with the substrate cache
-// on vs off):
+// all-pairs precompute, a 16×16-grid sweep with the substrate cache on
+// vs off, oracle build/read costs vs exact, and a 10k oracle scale
+// cell):
 //
-//	motsim -benchjson BENCH_05.json    # what `make bench-json` runs
+//	motsim -benchjson BENCH_06.json    # what `make bench-json` runs
+//
+// -oracle runs the large-network scale sweep instead of a figure: MOT
+// cost-ratio cells on near-square grids using the sub-quadratic
+// landmark/ball distance oracle (exact frozen metric below 2048 nodes),
+// with sampled exact re-metering auditing the oracle's estimates:
+//
+//	motsim -oracle                         # one 10 000-node cell
+//	motsim -oracle -nodes 10000,40000      # explicit size sweep
+//	motsim -oracle -nodes 2048 -seeds 3    # averaged over 3 seeds
+//
+// The printed table is byte-identical for any -workers value.
 package main
 
 import (
@@ -146,11 +158,37 @@ func runChaos(spec string, workers int, format string) {
 	}
 }
 
+// runOracle runs the large-network scale sweep (oracle substrate) and
+// prints the per-size table to stdout.
+func runOracle(nodes string, seeds, workers int, loadBalance bool) {
+	cfg := experiments.ScaleConfig{
+		Seeds:       seeds,
+		Workers:     workers,
+		LoadBalance: loadBalance,
+	}
+	if nodes != "" {
+		for _, part := range strings.Split(nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "motsim: -nodes wants positive sizes (e.g. -nodes 10000,40000), got %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	res, err := experiments.RunScale(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: scale: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.PrintScale(os.Stdout, res)
+}
+
 // runBenchJSON runs the perf-trajectory benchmark suite and writes the
-// JSON artifact (BENCH_05.json in CI). Progress goes to stderr so the
+// JSON artifact (BENCH_06.json in CI). Progress goes to stderr so the
 // artifact file holds only the report bytes.
 func runBenchJSON(path string) {
-	fmt.Fprintln(os.Stderr, "motsim: running benchmark suite (a few seconds)...")
+	fmt.Fprintln(os.Stderr, "motsim: running benchmark suite (a minute or so)...")
 	rep := bench.Run()
 	f, err := os.Create(path)
 	if err != nil {
@@ -179,13 +217,21 @@ func main() {
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	obsSize := flag.Int("obs-size", 256, "sensor count of the observability sweep (16x16 grid by default)")
 	obsSeed := flag.Int64("obs-seed", 0, "base seed of the observability sweep")
-	benchJSON := flag.String("benchjson", "", "run the substrate/harness benchmark suite and write BENCH_05-style JSON to this file")
+	benchJSON := flag.String("benchjson", "", "run the substrate/harness benchmark suite and write BENCH_06-style JSON to this file")
+	oracle := flag.Bool("oracle", false, "run the large-network scale sweep (sub-quadratic distance oracle) instead of a figure")
+	nodes := flag.String("nodes", "", "comma-separated node counts of the -oracle sweep (default 10000)")
+	seeds := flag.Int("seeds", 1, "seeds averaged per -oracle cell")
+	oracleLB := flag.Bool("oracle-lb", false, "enable §5 load-balanced placement in the -oracle sweep")
 	list := flag.Bool("list", false, "list available figures and exit")
 	quiet := flag.Bool("quiet", false, "suppress the per-figure wall-clock summary")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		runBenchJSON(*benchJSON)
+		return
+	}
+	if *oracle {
+		runOracle(*nodes, *seeds, *workers, *oracleLB)
 		return
 	}
 	if *chaosSpec != "" {

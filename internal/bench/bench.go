@@ -1,6 +1,6 @@
 // Package bench runs the substrate and harness benchmark suite behind
 // `make bench-json` / `motsim -benchjson` and renders it as a
-// machine-readable JSON artifact (BENCH_05.json) so CI can track the
+// machine-readable JSON artifact (BENCH_06.json) so CI can track the
 // perf trajectory release over release.
 //
 // The suite pins the claims the frozen-metric work makes: the frozen
@@ -8,11 +8,16 @@
 // RWMutex+map path, Precompute's scratch reuse keeps the all-pairs fill
 // lean, and the experiments substrate cache turns repeated same-topology
 // sweep cells from O(n²·log n) rebuilds into lookups (cells/sec,
-// cache-on vs cache-off, on a 16×16-grid sweep).
+// cache-on vs cache-off, on a 16×16-grid sweep) — plus the PR-6 oracle
+// claims: the sketch oracle builds far faster than an exact Precompute
+// at equal n with O(n·polylog n) bytes/node instead of 8n, its Dist
+// reads stay cheap, and a full 10k-node oracle-mode scale cell runs at
+// a usable cells/sec without ever freezing an n×n table.
 package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
@@ -134,20 +139,99 @@ func sweep(name string, disable bool) Result {
 	return toResult(name, r, extra)
 }
 
+// oracleBuild measures a cold sketch-oracle build at size n against the
+// exact Precompute at the same size (exactToo gates the exact leg so the
+// comparison stays affordable: at 10k+ the exact build is the wall being
+// measured around, not a baseline worth re-paying every run). Extra
+// reports bytes/node for the oracle (the O(n·polylog n) memory claim;
+// the exact table is always 8n bytes/node) plus the published stretch.
+func oracleBuild(n int, exactToo bool) []Result {
+	g := graph.NearSquareGrid(n)
+	var out []Result
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := graph.NewOracle(g, graph.OracleConfig{})
+			sink = o.Stretch()
+		}
+	})
+	o := graph.NewOracle(g, graph.OracleConfig{})
+	out = append(out, toResult(fmt.Sprintf("oracle/build-%d", n), r, map[string]float64{
+		"bytes_per_node": float64(o.Bytes()) / float64(n),
+		"stretch":        o.Stretch(),
+		"landmarks":      float64(o.Landmarks()),
+		"ball_k":         float64(o.BallK()),
+	}))
+	if exactToo {
+		re := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := graph.NewMetric(g)
+				m.Precompute(0)
+			}
+		})
+		out = append(out, toResult(fmt.Sprintf("oracle/exact-precompute-%d", n), re, map[string]float64{
+			"bytes_per_node": float64(n) * 8,
+		}))
+	}
+	return out
+}
+
+// oracleDist measures the oracle's far-pair Dist read (sketch miss →
+// landmark scan), the counterpart of metric/dist-frozen.
+func oracleDist() Result {
+	g := graph.NearSquareGrid(1024)
+	o := graph.NewOracle(g, graph.OracleConfig{})
+	n := g.N()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		acc := 0.0
+		for i := 0; i < b.N; i++ {
+			acc += o.Dist(graph.NodeID(i%n), graph.NodeID((i*31)%n))
+		}
+		sink = acc
+	})
+	return toResult("oracle/dist-1024", r, map[string]float64{"stretch": o.Stretch()})
+}
+
+// scaleCell measures one full 10k-node oracle-mode scale cell (oracle +
+// hierarchy build and workload replay, substrate cache reset first), the
+// cells/sec number the 10k+ acceptance criterion tracks.
+func scaleCell() Result {
+	cfg := experiments.ScaleConfig{Sizes: []int{10000}, Workers: 1}
+	experiments.ResetSubstrateCache()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.ResetSubstrateCache()
+			if _, err := experiments.RunScale(cfg); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return toResult("scale/10k-oracle-cell", r, map[string]float64{
+		"cells_per_sec": float64(r.N) / r.T.Seconds(),
+	})
+}
+
 // Run executes the whole suite. It takes a few seconds.
 func Run() *Report {
+	benchmarks := []Result{
+		distFrozen(),
+		distLazy(),
+		precompute(),
+		sweep("sweep/256-cache-on", false),
+		sweep("sweep/256-cache-off", true),
+		oracleDist(),
+	}
+	benchmarks = append(benchmarks, oracleBuild(1024, true)...)
+	benchmarks = append(benchmarks, oracleBuild(10000, false)...)
+	benchmarks = append(benchmarks, scaleCell())
 	return &Report{
 		Schema:     "mot-bench/v1",
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Benchmarks: []Result{
-			distFrozen(),
-			distLazy(),
-			precompute(),
-			sweep("sweep/256-cache-on", false),
-			sweep("sweep/256-cache-off", true),
-		},
+		Benchmarks: benchmarks,
 	}
 }
 

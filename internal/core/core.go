@@ -56,6 +56,16 @@ type Config struct {
 	// Nil (the default) disables observability; instrumented paths then
 	// pay one pointer test per hook (see internal/obs).
 	Obs *obs.Recorder
+	// ExactSampleEvery enables sampled exact re-metering: roughly one in
+	// this many move/query operations (chosen by a seeded hash of the
+	// operation index) has its distance terms re-measured with on-demand
+	// exact Dijkstra rows, filling the CostMeter.Sampled* fields. Zero
+	// disables sampling. Only useful when the overlay runs on an
+	// approximate oracle — on the exact metric the sampled Est and Exact
+	// fields coincide.
+	ExactSampleEvery int
+	// ExactSampleSeed seeds the operation-sampling hash.
+	ExactSampleSeed int64
 }
 
 // slotKey identifies a directory slot: one station of the overlay.
@@ -96,7 +106,7 @@ type slot struct {
 type Directory struct {
 	mu  sync.Mutex
 	ov  overlay.Overlay
-	m   *graph.Metric
+	m   graph.DistanceOracle
 	cfg Config
 
 	slots map[slotKey]*slot
@@ -104,6 +114,15 @@ type Directory struct {
 	ver   map[ObjectID]uint64       // move sequence numbers
 
 	meter CostMeter
+
+	// Sampled exact re-metering state (see sample.go): the row cache, the
+	// move/query operation counter the sampling hash keys on, and the
+	// in-flight operation's accumulators.
+	sampler    *exactSampler
+	sampOps    uint64
+	sampActive bool
+	sampEst    float64
+	sampExact  float64
 
 	// Observability state (see obs.go): operation counter, cumulative-cost
 	// logical clock, and the span of the operation in flight.
@@ -124,7 +143,7 @@ func New(ov overlay.Overlay, cfg Config) *Directory {
 	case cfg.LBThreshold < 0:
 		cfg.LBThreshold = 0 // distribute unconditionally
 	}
-	return &Directory{
+	d := &Directory{
 		ov:    ov,
 		m:     ov.Metric(),
 		cfg:   cfg,
@@ -132,6 +151,10 @@ func New(ov overlay.Overlay, cfg Config) *Directory {
 		loc:   make(map[ObjectID]graph.NodeID),
 		ver:   make(map[ObjectID]uint64),
 	}
+	if cfg.ExactSampleEvery > 0 {
+		d.sampler = newExactSampler(d.m.Graph())
+	}
+	return d
 }
 
 // Overlay returns the overlay the directory runs on.

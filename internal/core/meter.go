@@ -37,6 +37,26 @@ type CostMeter struct {
 	RecoveryCost float64
 	RecoveryOps  int
 
+	// Sampled exact re-metering (Config.ExactSampleEvery). In oracle mode
+	// every metered distance is an estimate; a seeded sample of move and
+	// query operations re-measures its distance terms with on-demand exact
+	// Dijkstra rows, giving an unbiased exact cost ratio over the sample
+	// (SampledMaintRatio/SampledQueryRatio) plus the est/exact gap that
+	// audits the oracle's real overshoot. The Est fields accumulate the
+	// oracle-reported distance terms of exactly the sampled operations, so
+	// Est and Exact are directly comparable. LB-routing and special-parent
+	// surcharges are not re-measured (they are metered separately anyway).
+	SampledMaintOps       int
+	SampledMaintCostEst   float64
+	SampledMaintCostExact float64
+	SampledMaintOptEst    float64
+	SampledMaintOptExact  float64
+	SampledQueryOps       int
+	SampledQueryCostEst   float64
+	SampledQueryCostExact float64
+	SampledQueryOptEst    float64
+	SampledQueryOptExact  float64
+
 	// Per-operation ratio sums (mean-of-ratios). The aggregate ratios
 	// above weight operations by their optimal cost; the figure-style
 	// means below weight each operation equally, which is what exposes a
@@ -106,6 +126,36 @@ func (c *CostMeter) AddQuerySample(cost, optimal float64) {
 	}
 }
 
+// SampledMaintRatio returns the exact maintenance cost ratio over the
+// sampled operations; 0 if nothing was sampled.
+func (c CostMeter) SampledMaintRatio() float64 {
+	if c.SampledMaintOptExact == 0 {
+		return 0
+	}
+	return c.SampledMaintCostExact / c.SampledMaintOptExact
+}
+
+// SampledQueryRatio returns the exact query cost ratio over the sampled
+// operations; 0 if nothing was sampled.
+func (c CostMeter) SampledQueryRatio() float64 {
+	if c.SampledQueryOptExact == 0 {
+		return 0
+	}
+	return c.SampledQueryCostExact / c.SampledQueryOptExact
+}
+
+// SampledOverestimate returns the factor by which the oracle's estimated
+// distance terms exceed their exact re-measurements over all sampled
+// operations (1 = no overshoot, bounded by the oracle's stretch); 0 if
+// nothing was sampled.
+func (c CostMeter) SampledOverestimate() float64 {
+	exact := c.SampledMaintCostExact + c.SampledQueryCostExact
+	if exact == 0 {
+		return 0
+	}
+	return (c.SampledMaintCostEst + c.SampledQueryCostEst) / exact
+}
+
 // Add accumulates another meter into c.
 func (c *CostMeter) Add(o CostMeter) {
 	c.PublishCost += o.PublishCost
@@ -120,6 +170,16 @@ func (c *CostMeter) Add(o CostMeter) {
 	c.LBRouteCost += o.LBRouteCost
 	c.RecoveryCost += o.RecoveryCost
 	c.RecoveryOps += o.RecoveryOps
+	c.SampledMaintOps += o.SampledMaintOps
+	c.SampledMaintCostEst += o.SampledMaintCostEst
+	c.SampledMaintCostExact += o.SampledMaintCostExact
+	c.SampledMaintOptEst += o.SampledMaintOptEst
+	c.SampledMaintOptExact += o.SampledMaintOptExact
+	c.SampledQueryOps += o.SampledQueryOps
+	c.SampledQueryCostEst += o.SampledQueryCostEst
+	c.SampledQueryCostExact += o.SampledQueryCostExact
+	c.SampledQueryOptEst += o.SampledQueryOptEst
+	c.SampledQueryOptExact += o.SampledQueryOptExact
 	c.MaintRatioSum += o.MaintRatioSum
 	c.MaintRatioOps += o.MaintRatioOps
 	c.QueryRatioSum += o.QueryRatioSum

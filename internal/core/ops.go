@@ -66,6 +66,7 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	d.ver[o]++
 	ver := d.ver[o]
 	d.obsStart(obs.OpMove, o)
+	sampled := d.sampleBegin()
 	path := d.ov.DPath(to)
 	cost := 0.0
 	prev := path[0][0]
@@ -77,7 +78,7 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	for l := 1; l < len(path) && !found; l++ {
 		lvl := cost
 		for _, st := range path[l] {
-			cost += d.m.Dist(prev.Host, st.Host)
+			cost += d.dist(prev.Host, st.Host)
 			prev = st
 			d.obsVisit(st)
 			if found {
@@ -112,7 +113,7 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	cur := oldEntry.child
 	pos := prev.Host
 	for {
-		cost += d.m.Dist(pos, cur.Host)
+		cost += d.dist(pos, cur.Host)
 		pos = cur.Host
 		d.obsVisit(cur)
 		cost += d.touch(cur, o)
@@ -132,7 +133,11 @@ func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	}
 
 	d.loc[o] = to
-	d.meter.AddMaintSample(cost, d.m.Dist(from, to))
+	optEst := d.m.Dist(from, to)
+	d.meter.AddMaintSample(cost, optEst)
+	if sampled {
+		d.sampleEndMaint(from, to, optEst)
+	}
 	d.obsFinish(cost)
 	return nil
 }
@@ -166,6 +171,7 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 		return graph.Undefined, QueryTrace{}, fmt.Errorf("core: object %d not published", o)
 	}
 	d.obsStart(obs.OpQuery, o)
+	sampled := d.sampleBegin()
 	path := d.ov.DPath(from)
 	cost := 0.0
 	prev := path[0][0]
@@ -175,7 +181,7 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 	for l := 0; l < len(path) && !hitDL && !hitSDL; l++ {
 		lvl := cost
 		for _, st := range path[l] {
-			cost += d.m.Dist(prev.Host, st.Host)
+			cost += d.dist(prev.Host, st.Host)
 			prev = st
 			d.obsVisit(st)
 			if hitDL || hitSDL {
@@ -203,7 +209,7 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 
 	cur := at
 	if hitSDL {
-		cost += d.m.Dist(cur.Host, sdlChild.Host)
+		cost += d.dist(cur.Host, sdlChild.Host)
 		cur = sdlChild
 		d.obsVisit(cur)
 		cost += d.touch(cur, o)
@@ -230,7 +236,7 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 		if !e.hasChild {
 			break // bottom-level proxy slot
 		}
-		cost += d.m.Dist(cur.Host, e.child.Host)
+		cost += d.dist(cur.Host, e.child.Host)
 		cur = e.child
 		d.obsVisit(cur)
 		cost += d.touch(cur, o)
@@ -241,10 +247,14 @@ func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, Qu
 		return graph.Undefined, trace, fmt.Errorf("core: query for object %d ended at %d, proxy is %d", o, cur.Host, proxy)
 	}
 	if d.cfg.CountReply {
-		cost += d.m.Dist(proxy, from)
+		cost += d.dist(proxy, from)
 	}
 	trace.Cost = cost
-	d.meter.AddQuerySample(cost, d.m.Dist(from, proxy))
+	optEst := d.m.Dist(from, proxy)
+	d.meter.AddQuerySample(cost, optEst)
+	if sampled {
+		d.sampleEndQuery(from, proxy, optEst)
+	}
 	d.obsFinish(cost)
 	return proxy, trace, nil
 }

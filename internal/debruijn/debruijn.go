@@ -125,7 +125,7 @@ func (e *Embedding) Route(u, v int) ([]int, error) {
 // label u to label v through the embedded de Bruijn graph: each virtual hop
 // costs the shortest-path distance between the hosting sensors
 // (Corollary 5.2's O(log |X|) routing overhead).
-func (e *Embedding) RouteCost(m *graph.Metric, u, v int) (float64, error) {
+func (e *Embedding) RouteCost(m graph.DistanceOracle, u, v int) (float64, error) {
 	path, err := e.Route(u, v)
 	if err != nil {
 		return 0, err

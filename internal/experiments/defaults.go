@@ -20,6 +20,23 @@ const (
 	DefaultLoadNodes = 1024
 	// DefaultHistogramMax is the largest per-node load bucket reported.
 	DefaultHistogramMax = 20
+
+	// DefaultScaleNodes is the scale sweep's default (and smoke-tier)
+	// network size — past the exact metric's practical range.
+	DefaultScaleNodes = 10000
+	// DefaultScaleObjects/Moves/Queries size the scale workload: small on
+	// purpose, since a scale cell measures large-n structure cost, not
+	// workload volume.
+	DefaultScaleObjects = 20
+	DefaultScaleMoves   = 50
+	DefaultScaleQueries = 100
+	// DefaultOracleMinN is the size at which scale sweeps switch from the
+	// exact frozen metric to the sketch oracle (an n×n table below this
+	// is a few tens of MB at most).
+	DefaultOracleMinN = 2048
+	// DefaultExactSampleEvery is the sampled exact re-metering rate of
+	// scale sweeps (about one in this many move/query operations).
+	DefaultExactSampleEvery = 16
 )
 
 // DefaultSizes are the paper's grid sweep sizes (10–1024 sensors).

@@ -25,10 +25,16 @@ import (
 // Entries are never evicted — the paper's sweeps touch a handful of
 // sizes, each worth one n×n float64 table — but Reset drops everything
 // (benchmarks use it to measure cold builds).
+// Oracle entries are kept in maps separate from the exact ones on
+// purpose: the exact gridEntry runs a full Precompute, so reusing it for
+// oracle cells would materialize exactly the n×n table the oracle mode
+// exists to avoid.
 type SubstrateCache struct {
-	mu    sync.Mutex
-	grids map[int]*gridEntry
-	hiers map[hierKey]*hierEntry
+	mu          sync.Mutex
+	grids       map[int]*gridEntry
+	hiers       map[hierKey]*hierEntry
+	oracles     map[int]*oracleEntry
+	oracleHiers map[hierKey]*hierEntry
 }
 
 // Entries carry their own once so builds run outside the cache lock:
@@ -38,6 +44,12 @@ type gridEntry struct {
 	once sync.Once
 	g    *graph.Graph
 	m    *graph.Metric
+}
+
+type oracleEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	o    *graph.Oracle
 }
 
 type hierKey struct {
@@ -53,7 +65,12 @@ type hierEntry struct {
 
 // NewSubstrateCache returns an empty cache.
 func NewSubstrateCache() *SubstrateCache {
-	return &SubstrateCache{grids: make(map[int]*gridEntry), hiers: make(map[hierKey]*hierEntry)}
+	return &SubstrateCache{
+		grids:       make(map[int]*gridEntry),
+		hiers:       make(map[hierKey]*hierEntry),
+		oracles:     make(map[int]*oracleEntry),
+		oracleHiers: make(map[hierKey]*hierEntry),
+	}
 }
 
 // defaultSubstrates backs every harness unless its config sets
@@ -68,6 +85,8 @@ func (c *SubstrateCache) Reset() {
 	c.mu.Lock()
 	c.grids = make(map[int]*gridEntry)
 	c.hiers = make(map[hierKey]*hierEntry)
+	c.oracles = make(map[int]*oracleEntry)
+	c.oracleHiers = make(map[hierKey]*hierEntry)
 	c.mu.Unlock()
 }
 
@@ -104,6 +123,45 @@ func (c *SubstrateCache) GridHierarchy(n int, cfg hier.Config) (*hier.Hierarchy,
 	e.once.Do(func() {
 		g, m := c.Grid(n)
 		e.hs, e.err = hier.Build(g, m, cfg)
+	})
+	return e.hs, e.err
+}
+
+// GridOracle returns the shared near-square grid for requested size n
+// together with its sub-quadratic distance oracle, building both on first
+// use. The grid is built independently of Grid(n)'s entry so that an
+// oracle-mode sweep never triggers the exact metric's n×n Precompute.
+// Oracle parameters are the seeded defaults (see graph.OracleConfig),
+// making the entry a pure function of n.
+func (c *SubstrateCache) GridOracle(n int) (*graph.Graph, *graph.Oracle) {
+	c.mu.Lock()
+	e, ok := c.oracles[n]
+	if !ok {
+		e = &oracleEntry{}
+		c.oracles[n] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.g = graph.NearSquareGrid(n)
+		e.o = graph.NewOracle(e.g, graph.OracleConfig{})
+	})
+	return e.g, e.o
+}
+
+// GridOracleHierarchy returns the shared hierarchy built over
+// GridOracle(n) with cfg, or Build's error.
+func (c *SubstrateCache) GridOracleHierarchy(n int, cfg hier.Config) (*hier.Hierarchy, error) {
+	key := hierKey{n: n, cfg: cfg}
+	c.mu.Lock()
+	e, ok := c.oracleHiers[key]
+	if !ok {
+		e = &hierEntry{}
+		c.oracleHiers[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		g, o := c.GridOracle(n)
+		e.hs, e.err = hier.Build(g, o, cfg)
 	})
 	return e.hs, e.err
 }

@@ -307,8 +307,19 @@ func (m *Metric) Precompute(par int) {
 	}
 	// Racing Precomputes build identical tables (Dijkstra is deterministic
 	// and cached rows are immutable); CompareAndSwap keeps the first.
-	m.flat.CompareAndSwap(nil, &flatTable{n: n, d: flat})
+	if m.flat.CompareAndSwap(nil, &flatTable{n: n, d: flat}) {
+		frozenTables.Add(1)
+	}
 }
+
+// frozenTables counts flat n×n tables published process-wide. Scale tests
+// assert the delta stays zero across an oracle-mode run: the whole point
+// of the oracle is that no quadratic table is ever materialized.
+var frozenTables atomic.Int64
+
+// FrozenTableCount returns how many flat all-pairs tables have been
+// published process-wide since start.
+func FrozenTableCount() int64 { return frozenTables.Load() }
 
 // freeze returns the flat table, forcing a full Precompute if needed.
 func (m *Metric) freeze() *flatTable {
@@ -383,6 +394,24 @@ func (m *Metric) Ball(u NodeID, r float64) []NodeID {
 	}
 	return out
 }
+
+// Near returns every node within distance r of u (including u) with its
+// exact distance, sorted by ascending node ID. On a Metric this is a row
+// scan — lazy use computes (and may freeze) the row like Ball does; large-n
+// callers that must avoid the n×n table use an *Oracle instead.
+func (m *Metric) Near(u NodeID, r float64) []Neighbor {
+	row := m.Row(u)
+	var out []Neighbor
+	for v, d := range row {
+		if d <= r {
+			out = append(out, Neighbor{Node: NodeID(v), D: d})
+		}
+	}
+	return out
+}
+
+// Stretch returns 1: the Metric is exact.
+func (m *Metric) Stretch() float64 { return 1 }
 
 // DoublingEstimate returns an empirical estimate of the doubling dimension
 // rho of the graph metric: the max over sampled centers and radii of

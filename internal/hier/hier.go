@@ -47,7 +47,7 @@ type Config struct {
 // Hierarchy is the built HS. It implements overlay.Overlay.
 type Hierarchy struct {
 	g   *graph.Graph
-	m   *graph.Metric
+	m   graph.DistanceOracle
 	cfg Config
 
 	levels  [][]graph.NodeID // levels[l] = V_l sorted ascending
@@ -67,9 +67,12 @@ type Hierarchy struct {
 	paths   map[graph.NodeID]overlay.Path
 }
 
-// Build constructs HS over g using the metric m (which must belong to g).
-// The graph must be connected and non-empty.
-func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
+// Build constructs HS over g using the distance oracle m (which must
+// belong to g). The graph must be connected and non-empty. Every distance
+// Build consumes flows through Near — exact on both implementations — so
+// an exact-metric build and an oracle build of the same (g, cfg) produce
+// identical hierarchies, and an oracle build never touches an n×n table.
+func Build(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Hierarchy, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("hier: empty graph")
 	}
@@ -93,11 +96,12 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 	hs.inLevel = make([]int, g.N())
 
 	// Refine levels by MIS until a single node remains.
+	member := make([]bool, g.N()) // scratch level-membership bitmap
 	for len(hs.levels[len(hs.levels)-1]) > 1 {
 		l := len(hs.levels) - 1
 		cur := hs.levels[l]
 		radius := math.Pow(2, float64(l+1))
-		adj := levelAdjacency(m, cur, radius)
+		adj := levelAdjacency(m, cur, radius, member)
 		next := mis.Luby(cur, adj, rng)
 		if len(next) == 0 {
 			return nil, fmt.Errorf("hier: MIS at level %d returned empty set", l)
@@ -126,18 +130,24 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 		dp := make(map[graph.NodeID]graph.NodeID, len(cur))
 		ps := make(map[graph.NodeID][]graph.NodeID, len(cur))
 		psRadius := 4 * math.Pow(2, float64(l+1))
+		for _, p := range up {
+			member[p] = true
+		}
 		for _, u := range cur {
 			best, bestD := graph.Undefined, math.Inf(1)
 			var set []graph.NodeID
-			row := m.Row(u)
-			for _, p := range up {
-				d := row[p]
+			// MIS maximality puts the default parent within 2^(l+1), so the
+			// psRadius ball contains it; Near is exact and ID-ascending,
+			// matching the old sorted row scan over up bit for bit.
+			for _, nb := range m.Near(u, psRadius) {
+				if !member[nb.Node] {
+					continue
+				}
+				p, d := nb.Node, nb.D
 				if d < bestD || (d == bestD && p < best) {
 					best, bestD = p, d
 				}
-				if d <= psRadius {
-					set = append(set, p)
-				}
+				set = append(set, p)
 			}
 			if best == graph.Undefined {
 				return nil, fmt.Errorf("hier: node %d has no level-%d parent", u, l+1)
@@ -158,6 +168,9 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 		}
 		hs.defaultParent[l] = dp
 		hs.parentSet[l] = ps
+		for _, p := range up {
+			member[p] = false
+		}
 	}
 
 	// Special-parent offset. Only the theoretical default needs the
@@ -175,18 +188,26 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 }
 
 // levelAdjacency returns the E_l adjacency: nodes of cur within < radius.
-func levelAdjacency(m *graph.Metric, cur []graph.NodeID, radius float64) mis.Adjacency {
+// member is an all-false scratch bitmap of graph size, restored on return.
+// Near is exact and ID-ascending, so the neighbor lists match the old
+// sorted row scan exactly while staying output-sensitive in oracle mode.
+func levelAdjacency(m graph.DistanceOracle, cur []graph.NodeID, radius float64, member []bool) mis.Adjacency {
+	for _, u := range cur {
+		member[u] = true
+	}
 	// Precompute neighbor lists once; MIS calls adj repeatedly.
 	idx := make(map[graph.NodeID][]graph.NodeID, len(cur))
 	for _, u := range cur {
-		row := m.Row(u)
 		var nbr []graph.NodeID
-		for _, v := range cur {
-			if v != u && row[v] < radius {
-				nbr = append(nbr, v)
+		for _, nb := range m.Near(u, radius) {
+			if nb.Node != u && nb.D < radius && member[nb.Node] {
+				nbr = append(nbr, nb.Node)
 			}
 		}
 		idx[u] = nbr
+	}
+	for _, u := range cur {
+		member[u] = false
 	}
 	return func(u graph.NodeID) []graph.NodeID { return idx[u] }
 }
@@ -202,8 +223,8 @@ func (hs *Hierarchy) Root() overlay.Station {
 // RootNode returns the physical root node.
 func (hs *Hierarchy) RootNode() graph.NodeID { return hs.root }
 
-// Metric returns the network's shortest-path oracle.
-func (hs *Hierarchy) Metric() *graph.Metric { return hs.m }
+// Metric returns the network's distance oracle.
+func (hs *Hierarchy) Metric() graph.DistanceOracle { return hs.m }
 
 // SpecialOffset returns sigma.
 func (hs *Hierarchy) SpecialOffset() int { return hs.sigma }
@@ -218,7 +239,7 @@ func (hs *Hierarchy) Rho() float64 {
 		if samples <= 0 {
 			samples = 32
 		}
-		hs.rho = hs.m.DoublingEstimate(samples)
+		hs.rho = graph.EstimateDoubling(hs.m, samples)
 	})
 	return hs.rho
 }
@@ -336,7 +357,7 @@ func (hs *Hierarchy) Validate() error {
 			}
 		}
 		radius := math.Pow(2, float64(l))
-		adj := levelAdjacency(hs.m, hs.levels[l-1], radius)
+		adj := levelAdjacency(hs.m, hs.levels[l-1], radius, make([]bool, hs.g.N()))
 		if ok, why := mis.Verify(hs.levels[l-1], adj, hs.levels[l]); !ok {
 			return fmt.Errorf("hier: level %d: %s", l, why)
 		}
@@ -345,8 +366,13 @@ func (hs *Hierarchy) Validate() error {
 		bound := math.Pow(2, float64(l+1))
 		for _, u := range hs.levels[l] {
 			dp := hs.defaultParent[l][u]
-			row := hs.m.Row(u)
-			if d := row[dp]; d > bound {
+			// Near is exact on every oracle; absence from the 4*bound ball
+			// means the distance exceeds 4*bound.
+			near := make(map[graph.NodeID]float64)
+			for _, nb := range hs.m.Near(u, 4*bound) {
+				near[nb.Node] = nb.D
+			}
+			if d, ok := near[dp]; !ok || d > bound {
 				return fmt.Errorf("hier: default parent of %d at level %d is %v away (> %v)", u, l, d, bound)
 			}
 			set := hs.parentSet[l][u]
@@ -355,7 +381,7 @@ func (hs *Hierarchy) Validate() error {
 				if p == dp {
 					foundDP = true
 				}
-				if d := row[p]; d > 4*bound {
+				if d, ok := near[p]; !ok || d > 4*bound {
 					return fmt.Errorf("hier: parent-set member %d of %d at level %d is %v away (> %v)", p, u, l, d, 4*bound)
 				}
 				if i > 0 && set[i-1] >= p {

@@ -21,7 +21,7 @@ import (
 // Balancer distributes directory entries across station clusters. It
 // implements core.Placement.
 type Balancer struct {
-	m *graph.Metric
+	m graph.DistanceOracle
 	// deBruijnHops prices each access as the full virtual-hop route of
 	// Corollary 5.2 (leader to holder over de Bruijn edges). The default
 	// prices the direct leader-to-holder distance, modeling leaders that

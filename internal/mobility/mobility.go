@@ -71,7 +71,7 @@ type Config struct {
 // Generate builds a workload over graph g. Movement destinations follow the
 // configured model; the per-object move sequences are interleaved in random
 // order exactly as in the paper's experiments.
-func Generate(g *graph.Graph, m *graph.Metric, cfg Config) (*Workload, error) {
+func Generate(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Workload, error) {
 	if cfg.Objects <= 0 {
 		return nil, fmt.Errorf("mobility: need at least one object")
 	}

@@ -54,9 +54,10 @@ type Overlay interface {
 	// SpecialOffset returns the level offset sigma used to pick special
 	// parents (Definition 3; sigma = 3*rho+6 in the theory).
 	SpecialOffset() int
-	// Metric returns the shortest-path oracle of the underlying network,
-	// used for message-cost accounting.
-	Metric() *graph.Metric
+	// Metric returns the distance oracle of the underlying network, used
+	// for message-cost accounting (exact *graph.Metric at small n, the
+	// sub-quadratic sketch oracle in scale sweeps).
+	Metric() graph.DistanceOracle
 }
 
 // SpecialParent returns the special parent of the station at (level, idx)
@@ -87,7 +88,7 @@ func Flatten(p Path) []Station {
 // Length returns the total travel distance of visiting all stations of p in
 // order, measured by shortest-path distances between consecutive hosts —
 // the length of the detection path (Definition 1, Lemma 2.2).
-func Length(p Path, m *graph.Metric) float64 {
+func Length(p Path, m graph.DistanceOracle) float64 {
 	st := Flatten(p)
 	total := 0.0
 	for i := 1; i < len(st); i++ {
@@ -98,7 +99,7 @@ func Length(p Path, m *graph.Metric) float64 {
 
 // LengthUpTo returns the travel distance of visiting stations of p in order
 // up to and including level j.
-func LengthUpTo(p Path, m *graph.Metric, j int) float64 {
+func LengthUpTo(p Path, m graph.DistanceOracle, j int) float64 {
 	total := 0.0
 	var prev *Station
 	for l := 0; l <= j && l < len(p); l++ {

@@ -47,7 +47,7 @@ type Cluster struct {
 // overlay.Overlay.
 type Hierarchy struct {
 	g   *graph.Graph
-	m   *graph.Metric
+	m   graph.DistanceOracle
 	cfg Config
 
 	levels  [][]Cluster // levels[l] = clusters of level l, by ID
@@ -59,8 +59,10 @@ type Hierarchy struct {
 	paths   map[graph.NodeID]overlay.Path
 }
 
-// Build constructs the hierarchy over a connected graph.
-func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
+// Build constructs the hierarchy over a connected graph. All distances
+// flow through the oracle's exact local queries (Near/Ball), so exact and
+// oracle builds of the same inputs are identical.
+func Build(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Hierarchy, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("partition: empty graph")
 	}
@@ -88,8 +90,10 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 	hs.home = append(hs.home, home0)
 
 	// Higher levels: sparse covers of radius-2^l balls until a single
-	// cluster holds everything. Forcing the diameter here freezes the
-	// metric up front, so every Row/Ball below reads the flat table.
+	// cluster holds everything. On the exact metric, taking the diameter
+	// here freezes the flat table up front so every Ball below reads it;
+	// an approximate oracle returns a ≤2× upper bound, which only delays
+	// the convergence guard (never fires it early).
 	diam := m.Diameter()
 	maxIter := int(math.Ceil(math.Log2(float64(n)))) + 1
 	for l := 1; ; l++ {
@@ -148,7 +152,7 @@ func Build(g *graph.Graph, m *graph.Metric, cfg Config) (*Hierarchy, error) {
 // until the node count grows by less than the growth factor, then absorb
 // that final layer and emit the cluster (Awerbuch–Peleg coarsening). Every
 // absorbed center's full ball lies inside the emitted cluster.
-func sparseCover(m *graph.Metric, n int, r, growth float64, maxIter, level int) []Cluster {
+func sparseCover(m graph.DistanceOracle, n int, r, growth float64, maxIter, level int) []Cluster {
 	remaining := make([]bool, n)
 	for u := range remaining {
 		remaining[u] = true
@@ -167,11 +171,10 @@ func sparseCover(m *graph.Metric, n int, r, growth float64, maxIter, level int) 
 		inY := make([]bool, n)
 		var members []graph.NodeID
 		absorb := func(center graph.NodeID) {
-			row := m.Row(center)
-			for v := 0; v < n; v++ {
-				if !inY[v] && row[v] <= r {
-					inY[v] = true
-					members = append(members, graph.NodeID(v))
+			for _, nb := range m.Near(center, r) {
+				if !inY[nb.Node] {
+					inY[nb.Node] = true
+					members = append(members, nb.Node)
 				}
 			}
 		}
@@ -187,9 +190,10 @@ func sparseCover(m *graph.Metric, n int, r, growth float64, maxIter, level int) 
 				if !remaining[u] {
 					continue
 				}
-				row := m.Row(graph.NodeID(u))
-				for _, v := range members {
-					if row[v] <= r {
+				// ball(u,r) intersects the cluster iff some in-cluster node
+				// is within r of u (distances are symmetric).
+				for _, nb := range m.Near(graph.NodeID(u), r) {
+					if inY[nb.Node] {
 						layer = append(layer, u)
 						break
 					}
@@ -212,13 +216,8 @@ func sparseCover(m *graph.Metric, n int, r, growth float64, maxIter, level int) 
 
 		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 		leader := graph.NodeID(seed)
-		radius := 0.0
-		row := m.Row(leader)
-		for _, v := range members {
-			if row[v] > radius {
-				radius = row[v]
-			}
-		}
+		radius := leaderRadius(m, leader, members, r*(1+2*float64(maxIter)))
+
 		clusters = append(clusters, Cluster{
 			ID:      len(clusters),
 			Level:   level,
@@ -230,6 +229,34 @@ func sparseCover(m *graph.Metric, n int, r, growth float64, maxIter, level int) 
 	return clusters
 }
 
+// leaderRadius returns max_v dist(leader, v) over members, exactly, via
+// Near. The coarsening absorbs at most maxIter layers each extending the
+// cluster by ≤2r, so members lie within r·(1+2·maxIter) of the leader;
+// the doubling retry is a safety net, not an expected path.
+func leaderRadius(m graph.DistanceOracle, leader graph.NodeID, members []graph.NodeID, bound float64) float64 {
+	for {
+		near := make(map[graph.NodeID]float64, len(members)*2)
+		for _, nb := range m.Near(leader, bound) {
+			near[nb.Node] = nb.D
+		}
+		radius, ok := 0.0, true
+		for _, v := range members {
+			d, in := near[v]
+			if !in {
+				ok = false
+				break
+			}
+			if d > radius {
+				radius = d
+			}
+		}
+		if ok {
+			return radius
+		}
+		bound *= 2
+	}
+}
+
 // Height returns the top level index.
 func (hs *Hierarchy) Height() int { return hs.h }
 
@@ -239,8 +266,8 @@ func (hs *Hierarchy) Root() overlay.Station {
 	return overlay.Station{Level: hs.h, Key: int64(c.ID), Host: c.Leader}
 }
 
-// Metric returns the shortest-path oracle.
-func (hs *Hierarchy) Metric() *graph.Metric { return hs.m }
+// Metric returns the distance oracle.
+func (hs *Hierarchy) Metric() graph.DistanceOracle { return hs.m }
 
 // SpecialOffset returns sigma.
 func (hs *Hierarchy) SpecialOffset() int { return hs.sigma }

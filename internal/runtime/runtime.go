@@ -76,7 +76,7 @@ type result struct {
 // per sensor node.
 type Tracker struct {
 	g  *graph.Graph
-	m  *graph.Metric
+	m  graph.DistanceOracle
 	ov overlay.Overlay
 
 	inboxes []chan message

@@ -86,7 +86,7 @@ type QueryResult struct {
 type MOTSim struct {
 	eng *Engine
 	ov  overlay.Overlay
-	m   *graph.Metric
+	m   graph.DistanceOracle
 	cfg Config
 
 	slots map[slotKey]*simSlot
