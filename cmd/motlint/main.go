@@ -10,6 +10,8 @@
 //	motlint ./...              # lint every package in the module (default)
 //	motlint -list              # print the rule table and exit
 //	motlint -rules barego,walltime ./...
+//	motlint -json ./...        # findings as a JSON array on stdout
+//	motlint -sarif out.sarif ./...   # also write SARIF 2.1.0 for CI
 //
 // The policy (allowlists per rule) is internal/lint's Default config;
 // waive a single finding in place with
@@ -17,14 +19,17 @@
 //	//motlint:ignore <rule> <reason>
 //
 // on the offending line or the line above it. make lint wires this
-// command into the tier-1 `make check`.
+// command into the tier-1 `make check` and hands the SARIF artifact to
+// the CI annotation step.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -33,11 +38,15 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzer rules and exit")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array instead of text")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
-		for _, a := range analyzers {
+		byName := append([]*lint.Analyzer(nil), analyzers...)
+		sort.Slice(byName, func(i, j int) bool { return byName[i].Name < byName[j].Name })
+		for _, a := range byName {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
@@ -88,8 +97,37 @@ func main() {
 		}
 		findings = append(findings, fs...)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	lint.SortFindings(findings)
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motlint: %v\n", err)
+			os.Exit(2)
+		}
+		err = writeSARIF(f, analyzers, findings)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motlint: writing SARIF: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{} // an empty run is [], not null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "motlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "motlint: %d finding(s)\n", len(findings))

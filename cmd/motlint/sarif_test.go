@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestWriteSARIF pins the SARIF subset CI ingests: schema/version, the
+// rule table, and one result per finding with a root-relative location.
+func TestWriteSARIF(t *testing.T) {
+	findings := []lint.Finding{
+		{File: "internal/sim/engine.go", Line: 42, Col: 3, Rule: "walltime", Msg: "nope"},
+		{File: "internal/core/ops.go", Line: 7, Col: 1, Rule: "hotalloc", Msg: "make allocates on a hot path"},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, lint.All(), findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !bytes.Contains([]byte(log.Schema), []byte("sarif-2.1.0")) {
+		t.Fatalf("schema/version = %q / %q", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "motlint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(lint.All()); got != want {
+		t.Fatalf("rule table has %d entries, want %d", got, want)
+	}
+	ids := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Fatalf("rule %s has no description", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(findings))
+	}
+	for i, res := range run.Results {
+		f := findings[i]
+		if res.RuleID != f.Rule || !ids[res.RuleID] {
+			t.Fatalf("result %d ruleId = %q (in table: %v)", i, res.RuleID, ids[res.RuleID])
+		}
+		if res.Level != "error" || res.Message.Text != f.Msg {
+			t.Fatalf("result %d level/message = %q/%q", i, res.Level, res.Message.Text)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != f.File || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Fatalf("result %d artifact = %+v", i, loc.ArtifactLocation)
+		}
+		if loc.Region.StartLine != f.Line || loc.Region.StartColumn != f.Col {
+			t.Fatalf("result %d region = %+v", i, loc.Region)
+		}
+	}
+}
+
+// TestWriteSARIFEmpty checks a clean run still produces a valid log with
+// an empty (non-null) results array — GitHub rejects null results.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, lint.All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"results": null`)) {
+		t.Fatal("empty run encodes results as null")
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Fatalf("results = %v, want empty array", log.Runs[0].Results)
+	}
+}

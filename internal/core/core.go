@@ -198,6 +198,7 @@ func (d *Directory) slot(st overlay.Station) *slot {
 	k := slotKey{level: st.Level, key: st.Key}
 	s, ok := d.slots[k]
 	if !ok {
+		//motlint:ignore hotalloc lazy one-time materialization of a station's slot
 		s = &slot{station: st, dl: make(map[ObjectID]dlEntry), sdl: make(map[ObjectID]sdlEntry)}
 		d.slots[k] = s
 	}

@@ -20,6 +20,8 @@ import (
 // Publish introduces object o at proxy node at, stamping o along the home
 // chain of DPath(at) up to the root (Algorithm 1 lines 1–5). Publishing an
 // already-published object is an error.
+//
+//motlint:hotpath
 func (d *Directory) Publish(o ObjectID, at graph.NodeID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -53,6 +55,8 @@ func (d *Directory) Publish(o ObjectID, at graph.NodeID) error {
 // station of each level, until it finds a station already holding o (the
 // peak); it repoints the peak into the new home chain and the delete then
 // erases the old trail downward to the old proxy (Algorithm 1 lines 6–18).
+//
+//motlint:hotpath
 func (d *Directory) Move(o ObjectID, to graph.NodeID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -156,6 +160,8 @@ type QueryTrace struct {
 // 19–24): climb DPath(from), probing each level's stations, until one holds
 // o in its DL or SDL, then descend the trail (via the special child for an
 // SDL hit) to the proxy. It returns the proxy and this query's cost.
+//
+//motlint:hotpath
 func (d *Directory) Query(from graph.NodeID, o ObjectID) (graph.NodeID, float64, error) {
 	proxy, tr, err := d.QueryTraced(from, o)
 	return proxy, tr.Cost, err
@@ -163,6 +169,8 @@ func (d *Directory) Query(from graph.NodeID, o ObjectID) (graph.NodeID, float64,
 
 // QueryTraced is Query returning resolution details (hit level, SDL use) —
 // used by the theory-validation tests for Lemma 2.1 and Lemma 4.10.
+//
+//motlint:hotpath
 func (d *Directory) QueryTraced(from graph.NodeID, o ObjectID) (graph.NodeID, QueryTrace, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

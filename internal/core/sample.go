@@ -71,6 +71,7 @@ func (d *Directory) dist(u, v graph.NodeID) float64 {
 	est := d.m.Dist(u, v)
 	if d.sampActive {
 		d.sampEst += est
+		//motlint:ignore hotalloc exact re-measurement runs on 1/ExactSampleEvery operations
 		d.sampExact += d.sampler.dist(u, v)
 	}
 	return est
@@ -84,6 +85,7 @@ func (d *Directory) sampleEndMaint(from, to graph.NodeID, optEst float64) {
 	d.meter.SampledMaintCostEst += d.sampEst
 	d.meter.SampledMaintCostExact += d.sampExact
 	d.meter.SampledMaintOptEst += optEst
+	//motlint:ignore hotalloc exact re-measurement runs on 1/ExactSampleEvery operations
 	d.meter.SampledMaintOptExact += d.sampler.dist(from, to)
 }
 
@@ -94,5 +96,6 @@ func (d *Directory) sampleEndQuery(from, proxy graph.NodeID, optEst float64) {
 	d.meter.SampledQueryCostEst += d.sampEst
 	d.meter.SampledQueryCostExact += d.sampExact
 	d.meter.SampledQueryOptEst += optEst
+	//motlint:ignore hotalloc exact re-measurement runs on 1/ExactSampleEvery operations
 	d.meter.SampledQueryOptExact += d.sampler.dist(from, proxy)
 }

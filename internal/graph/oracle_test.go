@@ -348,3 +348,48 @@ func TestOracleTinyGraphs(t *testing.T) {
 		}
 	}
 }
+
+// TestOracleBallSizeMatchesNear cross-checks the count-only BallSize
+// against the materializing Near on every family, over radii that hit
+// both the sketch path and the bounded-Dijkstra fallback.
+func TestOracleBallSizeMatchesNear(t *testing.T) {
+	for _, fam := range oracleFamilies() {
+		o := smallOracle(fam.g, 77, 1)
+		diam := o.Diameter()
+		for _, r := range []float64{0, 0.5, 1, 2, diam / 2, diam, diam * 2} {
+			for u := 0; u < fam.g.N(); u += 17 {
+				got := o.BallSize(NodeID(u), r)
+				want := len(o.Near(NodeID(u), r))
+				if got != want {
+					t.Fatalf("%s: BallSize(%d, %v) = %d, Near gives %d", fam.name, u, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleHotPathZeroAllocs pins the //motlint:hotpath contract
+// dynamically: Dist and BallSize (sketch path and pooled-scratch
+// fallback alike) allocate nothing per call once the scratch pool has
+// warmed to the working ball size.
+func TestOracleHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin runs in the plain tier")
+	}
+	g := Grid(12, 12)
+	o := smallOracle(g, 5, 1)
+	n := g.N()
+	diam := o.Diameter()
+	o.BallSize(0, diam) // warm the pooled scratch to the largest ball
+	i := 0
+	if allocs := testing.AllocsPerRun(200, func() {
+		u := NodeID(i % n)
+		v := NodeID((i * 29) % n)
+		_ = o.Dist(u, v)
+		_ = o.BallSize(u, 0.5)  // sketch path
+		_ = o.BallSize(u, diam) // bounded-Dijkstra fallback
+		i++
+	}); allocs != 0 {
+		t.Fatalf("oracle Dist/BallSize allocate %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package graph
+
+// raceEnabled reports that this binary was built with -race: the
+// detector's instrumentation allocates, so zero-alloc pins skip.
+const raceEnabled = true

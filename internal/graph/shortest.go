@@ -149,6 +149,8 @@ type flatTable struct {
 
 // row returns the shared distance row of u as a capped subslice of the
 // slab, so an append by a confused caller cannot clobber the next row.
+//
+//motlint:hotpath
 func (t *flatTable) row(u NodeID) []float64 {
 	off := int(u) * t.n
 	return t.d[off : off+t.n : off+t.n]
@@ -208,6 +210,8 @@ func (m *Metric) Frozen() bool { return m.flat.Load() != nil }
 // Dist returns the shortest-path distance between u and v (Inf if
 // disconnected). It panics if either node is out of range — including
 // when u == v, so Dist(-5, -5) fails as loudly as Dist(-5, 0).
+//
+//motlint:hotpath
 func (m *Metric) Dist(u, v NodeID) float64 {
 	if !m.g.valid(u) || !m.g.valid(v) {
 		panic(fmt.Sprintf("graph: Dist(%d, %d) out of range for n=%d", u, v, m.g.n))
@@ -224,6 +228,10 @@ func (m *Metric) Dist(u, v NodeID) float64 {
 // Row returns the full distance row from u. The returned slice is shared;
 // callers must not modify it. Computing the final missing row freezes the
 // metric (see the type comment), after which rows alias the flat table.
+// Only the frozen and cached paths are hot; the first-touch fill below
+// carries reasoned hotalloc waivers because it runs once per row.
+//
+//motlint:hotpath
 func (m *Metric) Row(u NodeID) []float64 {
 	if !m.g.valid(u) {
 		panic(fmt.Sprintf("graph: Row(%d) out of range for n=%d", u, m.g.n))
@@ -237,6 +245,7 @@ func (m *Metric) Row(u NodeID) []float64 {
 	if ok {
 		return row
 	}
+	//motlint:ignore hotalloc lazy first-touch fill runs once per row; frozen reads never reach it
 	res := m.g.Dijkstra(u)
 	m.mu.Lock()
 	if prev, ok := m.by[u]; ok { // racing fill; keep first
@@ -247,6 +256,7 @@ func (m *Metric) Row(u NodeID) []float64 {
 	full := len(m.by) == m.g.n
 	m.mu.Unlock()
 	if full {
+		//motlint:ignore hotalloc one-time freeze when the last row lands
 		m.Precompute(1) // every row cached: copy-only freeze, no goroutines
 		return m.Row(u)
 	}
@@ -372,6 +382,8 @@ func (m *Metric) Center() NodeID {
 }
 
 // BallSize returns |{v : dist(u,v) <= r}| including u itself.
+//
+//motlint:hotpath
 func (m *Metric) BallSize(u NodeID, r float64) int {
 	row := m.Row(u)
 	c := 0

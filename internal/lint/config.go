@@ -56,6 +56,55 @@ type Config struct {
 	// rule (none by default — hot loops should hoist the Metric row via
 	// Row and index it rather than calling Dist per iteration).
 	DistLoopAllowed []string
+
+	// HotPathDepth bounds how far the hotalloc rule propagates the
+	// //motlint:hotpath obligation through the intra-module call graph:
+	// an annotated function is depth 0, its static callees depth 1, and
+	// so on. 0 means the default (4). Dynamic (interface) calls and
+	// calls into HotAllocStop packages never propagate.
+	HotPathDepth int
+
+	// HotAllocStop lists package prefixes the hotalloc propagation never
+	// descends into. These are configuration-gated cold subsystems whose
+	// enabled paths legitimately allocate while their disabled fast path
+	// is a pointer test (internal/obs: a nil Recorder; internal/chaos:
+	// a nil Injector). The disabled-path cost is pinned dynamically by
+	// the 0-allocs benches instead.
+	HotAllocStop []string
+
+	// HotAllocAllowed lists library packages exempt from hotalloc
+	// entirely (none by default — prefer a reasoned //motlint:ignore at
+	// the allocation or call site, which also prunes propagation).
+	HotAllocAllowed []string
+
+	// LockFieldAllowed lists packages exempt from the lockfield rule.
+	LockFieldAllowed []string
+
+	// CtxLeakAllowed lists packages exempt from the ctxleak rule.
+	CtxLeakAllowed []string
+
+	// Meters lists the metered structs whose fields must never be
+	// silently droppable: every field has to be accumulated by the
+	// aggregator methods and rendered by the CSV exporter (see the
+	// meterfields rule).
+	Meters []MeterSpec
+}
+
+// MeterSpec names one metered struct and the functions that must cover
+// every one of its fields.
+type MeterSpec struct {
+	// Type is the struct name, matched in any package (fixture packages
+	// declare their own copy, like the distloop fixture's Metric).
+	Type string
+	// Aggregators are function or method names in the struct's own
+	// package. Each must reference every field of the struct, or
+	// delegate by calling another listed aggregator.
+	Aggregators []string
+	// CSVPkg/CSVFunc optionally name the exporter that must mention
+	// every field (snake_cased) as a column-header string literal, so a
+	// field added to the meter cannot silently vanish from the artifact.
+	CSVPkg  string
+	CSVFunc string
 }
 
 // Default is this repository's lint policy, referenced by cmd/motlint and
@@ -70,7 +119,37 @@ func Default() Config {
 		PrintAllowedFiles: []string{"repro/internal/obs/export.go"},
 		MapRangeAllowed:   nil,
 		DistLoopAllowed:   nil,
+		HotPathDepth:      4,
+		HotAllocStop: []string{
+			"repro/internal/obs",
+			"repro/internal/chaos",
+		},
+		HotAllocAllowed:  nil,
+		LockFieldAllowed: nil,
+		CtxLeakAllowed:   nil,
+		Meters: []MeterSpec{
+			{
+				Type:        "CostMeter",
+				Aggregators: []string{"Add", "AbsorbMeter"},
+				CSVPkg:      "repro/internal/report",
+				CSVFunc:     "CSVMeter",
+			},
+			{
+				Type:        "Recorder",
+				Aggregators: []string{"Snapshot"},
+			},
+		},
 	}
+}
+
+// meterFor returns the spec matching a struct type name, or nil.
+func (c *Config) meterFor(typeName string) *MeterSpec {
+	for i := range c.Meters {
+		if c.Meters[i].Type == typeName {
+			return &c.Meters[i]
+		}
+	}
+	return nil
 }
 
 // pathAllowed reports whether pkgPath is covered by one of the prefixes.

@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotPathDirective marks a function as a hot-path root for the hotalloc
+// rule. It goes in the function's doc comment, on its own line:
+//
+//	//motlint:hotpath
+//
+// The obligation propagates to everything the function reaches through
+// statically-resolvable intra-module calls, bounded by
+// Config.HotPathDepth.
+const hotPathDirective = "//motlint:hotpath"
+
+// Flow is the module-wide flow pass shared by the flow-aware analyzers:
+// a lightweight call graph over every loaded package (static edges only
+// — interface dispatch is invisible to it, deliberately: the hot
+// implementations behind an interface carry their own annotations), the
+// set of //motlint:hotpath roots, and the depth-bounded hot set derived
+// from them. A Runner rebuilds it whenever new packages load, so by the
+// time LintModule lints the first package the graph already spans the
+// whole tree.
+type Flow struct {
+	fset  *token.FileSet
+	funcs map[types.Object]*FlowFunc
+	hot   map[types.Object]*HotInfo
+	// callers inverts the edge set: callee → calling functions, used by
+	// lockfield's held-lock propagation. Cold and waived edges are
+	// included — a caller is a caller no matter how it handles errors.
+	callers map[types.Object][]*FlowFunc
+	// scopes resolves package scopes by import path, for analyzers that
+	// need a type declared in another package (meterfields' CSV check).
+	scopes map[string]*types.Package
+	// stop holds Config.HotAllocStop: package prefixes the hot BFS never
+	// descends into.
+	stop []string
+}
+
+// FlowFunc is one declared function or method of a loaded package.
+type FlowFunc struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Path  string // import path of the declaring package
+	Hot   bool   // carries the //motlint:hotpath directive
+	Edges []FlowEdge
+}
+
+// FlowEdge is one statically-resolved call site.
+type FlowEdge struct {
+	Callee types.Object
+	Pos    token.Pos
+	// Cold marks calls inside error-handling or panic contexts — hot
+	// paths bail through them only when the operation already failed, so
+	// the hotalloc obligation does not follow.
+	Cold bool
+	// Waived marks calls on a line covered by a //motlint:ignore
+	// hotalloc directive: a reasoned waiver at a call boundary also
+	// releases the callee subtree it guards.
+	Waived bool
+}
+
+// HotInfo records how the hotalloc obligation reached a function.
+type HotInfo struct {
+	Depth int
+	Chain string // call chain from the annotated root, "Tracker.send → Tracker.handle"
+}
+
+// suffix renders the provenance clause appended to hotalloc findings.
+func (h *HotInfo) suffix() string {
+	if h.Depth == 0 {
+		return " (marked " + hotPathDirective + ")"
+	}
+	return " (hot via " + h.Chain + ")"
+}
+
+// HotOf returns how the hotalloc obligation reached obj, or nil when obj
+// is not on a hot path.
+func (w *Flow) HotOf(obj types.Object) *HotInfo {
+	if w == nil || obj == nil {
+		return nil
+	}
+	return w.hot[obj]
+}
+
+// CallersOf returns the functions with a call edge to callee, sorted by
+// (package, position) at build time.
+func (w *Flow) CallersOf(callee types.Object) []*FlowFunc {
+	if w == nil {
+		return nil
+	}
+	return w.callers[callee]
+}
+
+// LookupType finds a struct type by name across the loaded packages,
+// scanning import paths in sorted order so the result is deterministic.
+func (w *Flow) LookupType(name string) *types.Named {
+	if w == nil {
+		return nil
+	}
+	paths := make([]string, 0, len(w.scopes))
+	for p := range w.scopes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		obj, ok := w.scopes[p].Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			return named
+		}
+	}
+	return nil
+}
+
+// buildFlow constructs the flow pass over every package the runner has
+// loaded. Iteration orders are pinned (sorted paths, source positions)
+// so the hot chains in finding messages never depend on map order.
+func buildFlow(r *Runner) *Flow {
+	w := &Flow{
+		fset:    r.fset,
+		funcs:   map[types.Object]*FlowFunc{},
+		hot:     map[types.Object]*HotInfo{},
+		callers: map[types.Object][]*FlowFunc{},
+		scopes:  map[string]*types.Package{},
+		stop:    r.cfg.HotAllocStop,
+	}
+	paths := make([]string, 0, len(r.pkgs))
+	for p := range r.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var all []*FlowFunc
+	for _, path := range paths {
+		pi := r.pkgs[path]
+		w.scopes[path] = pi.pkg
+		waived := waivedLines(r.fset, pi.files, "hotalloc")
+		for _, f := range pi.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pi.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &FlowFunc{
+					Obj: obj, Decl: fd, Path: path,
+					Hot: hasHotDirective(fd),
+				}
+				cold := coldRanges(pi.info, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := staticCallee(pi.info, call)
+					if callee == nil || callee.Pkg() == nil {
+						return true
+					}
+					cp := callee.Pkg().Path()
+					mod := r.cfg.ModulePath
+					if cp != mod && !strings.HasPrefix(cp, mod+"/") {
+						return true
+					}
+					pp := r.fset.Position(call.Pos())
+					ff.Edges = append(ff.Edges, FlowEdge{
+						Callee: callee,
+						Pos:    call.Pos(),
+						Cold:   inCold(cold, call.Pos()),
+						Waived: waived[pp.Filename][pp.Line],
+					})
+					return true
+				})
+				w.funcs[obj] = ff
+				all = append(all, ff)
+			}
+		}
+	}
+
+	for _, ff := range all {
+		for _, e := range ff.Edges {
+			w.callers[e.Callee] = append(w.callers[e.Callee], ff)
+		}
+	}
+
+	w.propagateHot(r.cfg.HotPathDepth)
+	return w
+}
+
+// propagateHot runs the depth-bounded BFS from the annotated roots. Cold
+// and waived edges never propagate; neither do edges into Config
+// .HotAllocStop packages or into constructor shapes (init, New*), whose
+// whole job is allocating.
+func (w *Flow) propagateHot(maxDepth int) {
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	type item struct {
+		ff    *FlowFunc
+		depth int
+		chain string
+	}
+	var queue []item
+	var roots []*FlowFunc
+	for _, ff := range w.funcs {
+		if ff.Hot {
+			roots = append(roots, ff)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].Path != roots[j].Path {
+			return roots[i].Path < roots[j].Path
+		}
+		return funcDisplayName(roots[i].Obj) < funcDisplayName(roots[j].Obj)
+	})
+	for _, ff := range roots {
+		name := funcDisplayName(ff.Obj)
+		w.hot[ff.Obj] = &HotInfo{Depth: 0, Chain: name}
+		queue = append(queue, item{ff: ff, depth: 0, chain: name})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.depth >= maxDepth {
+			continue
+		}
+		edges := append([]FlowEdge(nil), it.ff.Edges...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].Pos < edges[j].Pos })
+		for _, e := range edges {
+			if e.Cold || e.Waived {
+				continue
+			}
+			cf := w.funcs[e.Callee]
+			if cf == nil || w.hot[e.Callee] != nil {
+				continue
+			}
+			if pathAllowed(w.stop, cf.Path) {
+				continue
+			}
+			name := e.Callee.Name()
+			if name == "init" || strings.HasPrefix(name, "New") {
+				continue
+			}
+			chain := it.chain + " → " + funcDisplayName(cf.Obj)
+			w.hot[e.Callee] = &HotInfo{Depth: it.depth + 1, Chain: chain}
+			queue = append(queue, item{ff: cf, depth: it.depth + 1, chain: chain})
+		}
+	}
+}
+
+// hasHotDirective reports whether fd's doc comment carries
+// //motlint:hotpath on a line of its own.
+func hasHotDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotPathDirective || strings.HasPrefix(c.Text, hotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders a function as it appears in hot-chain
+// messages: "Type.Method" for methods, the bare name otherwise.
+func funcDisplayName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// posRange is a half-open source region [lo, hi].
+type posRange struct {
+	lo, hi token.Pos
+}
+
+func inCold(rs []posRange, pos token.Pos) bool {
+	for _, r := range rs {
+		if pos >= r.lo && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// errorIface is the universe error interface, for cold-context checks.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorish(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// coldRanges returns the regions of body the hotalloc rule treats as
+// cold: every expression whose static type implements error (an
+// operation bailing out pays its allocation once, on failure — fmt
+// .Errorf inside a return, an error field of a reply struct), and the
+// arguments of panic calls (invariant-violation messages). Identifiers
+// merely reading an error variable form degenerate one-token ranges and
+// hide nothing.
+func coldRanges(info *types.Info, body ast.Node) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, isID := call.Fun.(*ast.Ident); isID {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "panic" {
+					out = append(out, posRange{call.Pos(), call.End()})
+					return false
+				}
+			}
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if tv, has := info.Types[e]; has && isErrorish(tv.Type) {
+				out = append(out, posRange{e.Pos(), e.End()})
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// staticCallee resolves a call to the declared function or method it
+// statically dispatches to, unwrapping generic instantiations
+// (IndexExpr / IndexListExpr). Interface method calls and function
+// values return nil: their targets are dynamic.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr:
+			fun = f.X
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			fn, isFn := sel.Obj().(*types.Func)
+			if !isFn {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+			return fn
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// waivedLines collects, per absolute file name, the lines covered by a
+// //motlint:ignore directive naming rule (or "all"). Used by the flow
+// pass to prune propagation edges; malformed directives are ignored here
+// — parseIgnores reports them during the lint pass proper.
+func waivedLines(fset *token.FileSet, files []*ast.File, rule string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
+					continue
+				}
+				match := false
+				for _, rl := range strings.Split(fields[0], ",") {
+					if rl == rule || rl == "all" {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				pp := fset.Position(c.Pos())
+				if out[pp.Filename] == nil {
+					out[pp.Filename] = map[int]bool{}
+				}
+				out[pp.Filename][pp.Line] = true
+				out[pp.Filename][pp.Line+1] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the zero-allocation discipline on annotated hot
+// paths. A function marked //motlint:hotpath — and everything it reaches
+// through statically-resolvable intra-module calls, up to
+// Config.HotPathDepth — must not contain allocation-inducing constructs:
+//
+//   - make, new, map/slice literals, heap composite literals (&T{…})
+//   - append, unless the base is an explicit x[:0] reuse reslice
+//   - fmt.* calls and non-constant string concatenation
+//   - string ↔ []byte / []rune conversions
+//   - escaping closures (captures state and is not a direct call argument)
+//   - interface boxing at call sites and non-spread variadic calls
+//
+// Error-handling and panic contexts are cold (a failing operation pays
+// its allocation once); value struct literals are fine (they stay on the
+// stack). A //motlint:ignore hotalloc at a call site additionally prunes
+// propagation into the callee — the escape hatch for lazy first-touch
+// fills and config-gated slow paths. The static verdict is pinned
+// dynamically by the 0 allocs/op benches.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//motlint:hotpath functions and their static callees must not allocate",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	if pathAllowed(p.Cfg.HotAllocAllowed, p.Path) {
+		return
+	}
+	if p.Flow == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hi := p.Flow.HotOf(p.Info.Defs[fd.Name])
+			if hi == nil {
+				continue
+			}
+			checkHotFunc(p, fd, hi)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl, hi *HotInfo) {
+	cold := coldRanges(p.Info, fd.Body)
+
+	// Function literals passed directly as call arguments do not escape
+	// through the call in the common case (sort.Search, sync.Once.Do);
+	// only closures that outlive the call are charged.
+	directArg := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, a := range call.Args {
+				if fl, isLit := a.(*ast.FuncLit); isLit {
+					directArg[fl] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, what string) {
+		p.Reportf(pos, "%s%s", what, hi.suffix())
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inCold(cold, n.Pos()) {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(p.Info, x, fd) && !directArg[x] {
+				report(x.Pos(), "escaping closure allocates on a hot path")
+			}
+			// The literal's body runs on its own path (goroutine,
+			// callback) — it is not scanned as part of this one.
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := x.X.(*ast.CompositeLit); isLit {
+					report(x.Pos(), "heap composite literal (&T{…}) allocates on a hot path")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := p.Info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(x.Pos(), "map literal allocates on a hot path")
+					return false
+				case *types.Slice:
+					report(x.Pos(), "slice literal allocates on a hot path")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := p.Info.Types[x]; ok && tv.Value == nil && isStringType(tv.Type) {
+					report(x.Pos(), "string concatenation allocates on a hot path")
+					return false // one finding per concat chain
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, x, report)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	// Conversions: T(x). Only string ↔ []byte/[]rune copies allocate.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			if atv, has := p.Info.Types[call.Args[0]]; has && conversionAllocates(tv.Type, atv.Type) {
+				report(call.Pos(), "string/byte-slice conversion allocates on a hot path")
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id := calleeIdent(call.Fun); id != nil {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates on a hot path")
+			case "new":
+				report(call.Pos(), "new allocates on a hot path")
+			case "append":
+				if len(call.Args) > 0 && !isReuseReslice(call.Args[0]) {
+					report(call.Pos(), "append may grow its backing array on a hot path (reuse a x[:0] reslice or preallocate)")
+				}
+			}
+			return
+		}
+	}
+
+	if path, name, ok := pkgFunc(p.Info, call); ok && path == "fmt" {
+		report(call.Pos(), "fmt."+name+" allocates on a hot path")
+		return
+	}
+
+	sig, ok := p.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		report(call.Pos(), "variadic call allocates its argument slice on a hot path")
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		atv, has := p.Info.Types[arg]
+		if !has || atv.Type == nil || types.IsInterface(atv.Type) {
+			continue
+		}
+		if atv.Value != nil || atv.IsNil() {
+			continue // constants convert via static interface data
+		}
+		if boxingAllocates(atv.Type) {
+			report(arg.Pos(), "interface boxing of "+atv.Type.String()+" allocates on a hot path")
+		}
+	}
+}
+
+// paramTypeAt returns the declared type of parameter i, or nil for the
+// variadic tail (charged as a slice allocation, not as boxing).
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// calleeIdent unwraps a call target to its base identifier, through
+// parens and generic instantiations.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr:
+			fun = f.X
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	id, _ := fun.(*ast.Ident)
+	return id
+}
+
+// isReuseReslice reports whether e has the shape x[:0] (or x[:0:c]) — an
+// explicit length-zero reslice of an existing backing array, the
+// sanctioned scratch-reuse idiom for append on a hot path.
+func isReuseReslice(e ast.Expr) bool {
+	se, ok := e.(*ast.SliceExpr)
+	if !ok || se.Low != nil || se.High == nil {
+		return false
+	}
+	lit, ok := se.High.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// conversionAllocates reports whether converting from into to copies the
+// contents: string ↔ []byte and string ↔ []rune both do.
+func conversionAllocates(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// boxingAllocates reports whether converting a concrete t to an
+// interface stores out-of-line data. Pointer-shaped kinds (pointers,
+// channels, maps, functions, unsafe pointers) fit in the interface word.
+func boxingAllocates(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// capturesOuter reports whether lit references variables declared in the
+// enclosing function outside the literal itself (including the
+// receiver). Capture-free literals compile to static funcvals.
+func capturesOuter(info *types.Info, lit *ast.FuncLit, encl *ast.FuncDecl) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= encl.Pos() && pos < encl.End() &&
+			!(pos >= lit.Pos() && pos < lit.End()) {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}

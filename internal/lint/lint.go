@@ -14,6 +14,16 @@
 //	barego      goroutines launch via internal/runtime/track.Group only
 //	printlib    library code writes to an io.Writer, never os.Stdout
 //	distloop    loop-invariant Metric.Dist sources hoist to Row + index
+//	hotalloc    //motlint:hotpath functions (and their static callees)
+//	            must not contain allocation-inducing constructs
+//	lockfield   mutex-guarded struct fields are never accessed plain,
+//	            and lock acquisition order is consistent
+//	meterfields every metered-struct field reaches the aggregators and
+//	            the CSV header (no silently droppable costs)
+//	ctxleak     every track.Group launch has a reachable Wait
+//
+// The last four are flow-aware: they consult a module-wide call graph
+// and hot-path propagation pass (see flow.go) built once per load set.
 //
 // A finding can be waived in place with a reasoned directive:
 //
@@ -39,11 +49,11 @@ import (
 
 // Finding is one rule violation at a position.
 type Finding struct {
-	File string // relative to the lint root
-	Line int
-	Col  int
-	Rule string
-	Msg  string
+	File string `json:"file"` // relative to the lint root
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
 }
 
 // String renders the canonical "file:line: [rule] message" form.
@@ -66,6 +76,10 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Flow is the module-wide call-graph pass (hot-path propagation,
+	// caller edges, cross-package type lookup). It spans every package
+	// the runner has loaded so far — the whole module under LintModule.
+	Flow *Flow
 
 	rule string
 	out  *[]Finding
@@ -83,7 +97,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, GlobalRand, WallTime, BareGo, PrintLib, DistLoop}
+	return []*Analyzer{
+		MapRange, GlobalRand, WallTime, BareGo, PrintLib, DistLoop,
+		HotAlloc, LockField, MeterFields, CtxLeak,
+	}
 }
 
 // Runner loads, type-checks, and lints packages. It caches packages
@@ -97,6 +114,20 @@ type Runner struct {
 	loading   map[string]bool
 	moduleDir string
 	base      string // findings are reported relative to this directory
+
+	// flowCache memoizes the flow pass; it rebuilds whenever load()
+	// brings in a package the cached graph has not seen.
+	flowCache *Flow
+	flowN     int
+}
+
+// flow returns the flow pass over everything loaded so far.
+func (r *Runner) flow() *Flow {
+	if r.flowCache == nil || r.flowN != len(r.pkgs) {
+		r.flowCache = buildFlow(r)
+		r.flowN = len(r.pkgs)
+	}
+	return r.flowCache
 }
 
 type pkgInfo struct {
@@ -177,6 +208,10 @@ func (r *Runner) load(dir, path string) (*pkgInfo, error) {
 		Uses:       map[*ast.Ident]types.Object{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		// Instances resolves generic functions and types at their use
+		// sites, so the suite sees through explicit instantiations
+		// (f[int](…)) instead of panicking or silently skipping them.
+		Instances: map[*ast.Ident]types.Instance{},
 	}
 	conf := types.Config{Importer: r}
 	pkg, err := conf.Check(path, r.fset, files, info)
@@ -229,15 +264,36 @@ func (r *Runner) LintModule(root string) ([]Finding, error) {
 	}
 	sort.Strings(dirs)
 
-	var all []Finding
-	for _, dir := range dirs {
+	pathOf := func(dir string) (string, error) {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		path := r.cfg.ModulePath
 		if rel != "." {
 			path += "/" + filepath.ToSlash(rel)
+		}
+		return path, nil
+	}
+
+	// Preload everything before linting anything: the flow-aware rules
+	// need caller edges and hot chains that cross package boundaries, so
+	// the call graph must span the whole module before the first pass.
+	for _, dir := range dirs {
+		path, err := pathOf(dir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.load(dir, path); err != nil {
+			return nil, err
+		}
+	}
+
+	var all []Finding
+	for _, dir := range dirs {
+		path, err := pathOf(dir)
+		if err != nil {
+			return nil, err
 		}
 		fs, err := r.LintPackage(dir, path)
 		if err != nil {
@@ -303,10 +359,11 @@ func (r *Runner) LintPackage(dir, path string) ([]Finding, error) {
 
 	var out []Finding
 	ign := parseIgnores(r.fset, pi.files, rel, &out)
+	flow := r.flow()
 	for _, a := range r.analyzers {
 		p := &Pass{
 			Cfg: &r.cfg, Fset: r.fset, Path: path,
-			Files: pi.files, Pkg: pi.pkg, Info: pi.info,
+			Files: pi.files, Pkg: pi.pkg, Info: pi.info, Flow: flow,
 			rule: a.Name, out: &out, rel: rel,
 		}
 		a.Run(p)
@@ -321,6 +378,11 @@ func (r *Runner) LintPackage(dir, path string) ([]Finding, error) {
 	sortFindings(kept)
 	return kept, nil
 }
+
+// SortFindings orders findings by (file, line, col, rule) — the
+// canonical report order. Lint calls already return sorted slices;
+// callers that concatenate several runs re-sort with this.
+func SortFindings(fs []Finding) { sortFindings(fs) }
 
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
@@ -414,9 +476,25 @@ func parseIgnores(fset *token.FileSet, files []*ast.File,
 }
 
 // pkgFunc resolves a qualified call like rand.Intn to its package path
-// and function name; ok is false for method calls and locals.
+// and function name; ok is false for method calls and locals. Explicit
+// generic instantiations (pkg.Func[T](…)) unwrap to the same answer.
 func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr:
+			fun = f.X
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	sel, isSel := fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
 	}

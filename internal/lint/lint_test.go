@@ -123,3 +123,33 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Errorf("lint finding in tree: %s", f)
 	}
 }
+
+// TestMeterCSVSpec points the CostMeter spec's CSV exporter at the
+// meterfields fixture itself: the fixture's CSVMeter forgets the
+// dropped_cost column, which must surface alongside the aggregator
+// finding the default config already produces.
+func TestMeterCSVSpec(t *testing.T) {
+	cfg := Default()
+	for i := range cfg.Meters {
+		if cfg.Meters[i].Type == "CostMeter" {
+			cfg.Meters[i].CSVPkg = "repro/internal/fixture/meterfields"
+			cfg.Meters[i].CSVFunc = "CSVMeter"
+		}
+	}
+	r := NewRunner(cfg, MeterFields)
+	findings, err := r.LintPackage(filepath.Join("testdata", "src", "meterfields"), "repro/internal/fixture/meterfields")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	want := []string{
+		`meterfields.go:13: [meterfields] CostMeter.DroppedCost is not referenced by Add (metered value silently dropped)`,
+		`meterfields.go:25: [meterfields] CSVMeter is missing CSV column "dropped_cost" for CostMeter.DroppedCost`,
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+	}
+}

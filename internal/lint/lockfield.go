@@ -1,0 +1,566 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockField enforces the lock discipline on structs that embed a
+// sync.Mutex / sync.RWMutex field:
+//
+//   - A data field written while holding exactly one of the struct's
+//     mutexes becomes guarded by it. Every other plain access must hold
+//     the same mutex — a write needs the write lock, a read accepts
+//     RLock — either directly or inherited: an unexported function whose
+//     callers all hold the lock is checked as lock-held (the helper
+//     idiom: exported ops lock, helpers assume).
+//   - A field touched through sync/atomic (atomic.AddInt64(&s.f, …))
+//     must never be accessed plain anywhere in the package.
+//   - Lock acquisition order must be consistent: if one function locks
+//     A then B while another locks B then A, the later edge is flagged.
+//
+// Constructor shapes (init, New*) run before the value is shared and are
+// exempt. Association is deliberately first-wins in source order, so a
+// conflicting second guard is itself the finding.
+var LockField = &Analyzer{
+	Name: "lockfield",
+	Doc:  "mutex-guarded struct fields must not be accessed plain; lock order must be consistent",
+	Run:  runLockField,
+}
+
+// lfAccess is one plain receiver-field access inside a method.
+type lfAccess struct {
+	field *types.Var
+	pos   token.Pos
+	write bool
+}
+
+// lfMethod is the per-function summary the rule checks against.
+type lfMethod struct {
+	decl    *ast.FuncDecl
+	obj     types.Object
+	name    string
+	wLocks  map[*types.Var]bool // mutex fields Lock()ed anywhere in the body
+	rLocks  map[*types.Var]bool // mutex fields RLock()ed
+	access  []lfAccess
+	atomics map[*types.Var]bool // fields passed as &recv.f to sync/atomic
+}
+
+func runLockField(p *Pass) {
+	if pathAllowed(p.Cfg.LockFieldAllowed, p.Path) {
+		return
+	}
+
+	// Structs declared in this package that carry at least one mutex
+	// field; per-struct data fields eligible for guarding.
+	mutexOwner := map[*types.Var]string{} // mutex field → struct name
+	dataOwner := map[*types.Var]string{}  // data field → struct name
+	guarded := map[*types.Named]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue // methods live with the defining package
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				var mutexes, data []*types.Var
+				for i := 0; i < st.NumFields(); i++ {
+					fld := st.Field(i)
+					if isSyncMutex(fld.Type()) {
+						mutexes = append(mutexes, fld)
+					} else if !isSyncType(fld.Type()) {
+						data = append(data, fld)
+					}
+				}
+				if len(mutexes) == 0 {
+					continue
+				}
+				guarded[named] = true
+				for _, m := range mutexes {
+					mutexOwner[m] = tn.Name()
+				}
+				for _, d := range data {
+					dataOwner[d] = tn.Name()
+				}
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Summarize every method on a guarded struct, in source order.
+	var methods []*lfMethod
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvNamed := namedRecv(p.Info, fd)
+			if recvNamed == nil || !guarded[recvNamed] {
+				continue
+			}
+			if len(fd.Recv.List[0].Names) == 0 {
+				continue // unnamed receiver cannot touch fields
+			}
+			recvVar, ok := p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+			if !ok {
+				continue
+			}
+			methods = append(methods, summarizeMethod(p, fd, recvVar, mutexOwner, dataOwner))
+		}
+	}
+
+	// Atomic fields are a package-wide property.
+	atomicFields := map[*types.Var]bool{}
+	for _, m := range methods {
+		for fld := range m.atomics {
+			atomicFields[fld] = true
+		}
+	}
+
+	// Guard association: first write under exactly one held write-lock
+	// wins; a conflicting later association is the finding.
+	guard := map[*types.Var]*types.Var{} // data field → mutex field
+	guardIn := map[*types.Var]string{}   // data field → method that established it
+	for _, m := range methods {
+		if isCtorShape(m.name) || len(m.wLocks) != 1 {
+			continue
+		}
+		var mu *types.Var
+		for g := range m.wLocks {
+			mu = g
+		}
+		for _, a := range m.access {
+			if !a.write || atomicFields[a.field] {
+				continue
+			}
+			if g, ok := guard[a.field]; ok {
+				if g != mu {
+					p.Reportf(a.pos, "%s.%s is guarded by %s (established in %s) but written here under %s",
+						dataOwner[a.field], a.field.Name(), g.Name(), guardIn[a.field], mu.Name())
+				}
+				continue
+			}
+			guard[a.field] = mu
+			guardIn[a.field] = m.name
+		}
+	}
+
+	// Held-lock inheritance for unexported helpers: a helper is checked
+	// as holding the locks every one of its callers holds. Monotone
+	// shrink-from-full fixpoint over the flow pass's caller edges.
+	heldW := map[types.Object]map[*types.Var]bool{}
+	heldR := map[types.Object]map[*types.Var]bool{}
+	byObj := map[types.Object]*lfMethod{}
+	universe := map[*types.Var]bool{}
+	for mu := range mutexOwner {
+		universe[mu] = true
+	}
+	for _, m := range methods {
+		byObj[m.obj] = m
+		if m.obj != nil && !m.obj.Exported() && !isCtorShape(m.name) {
+			heldW[m.obj] = copySet(universe)
+			heldR[m.obj] = copySet(universe)
+		} else {
+			heldW[m.obj] = map[*types.Var]bool{}
+			heldR[m.obj] = map[*types.Var]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if m.obj == nil || m.obj.Exported() || isCtorShape(m.name) {
+				continue
+			}
+			callers := p.Flow.CallersOf(m.obj)
+			nextW := copySet(universe)
+			nextR := copySet(universe)
+			if len(callers) == 0 {
+				nextW, nextR = map[*types.Var]bool{}, map[*types.Var]bool{}
+			}
+			for _, c := range callers {
+				cm := byObj[c.Obj]
+				var cw, cr map[*types.Var]bool
+				if cm != nil {
+					cw = unionSets(cm.wLocks, heldW[cm.obj])
+					cr = unionSets(cm.rLocks, unionSets(heldR[cm.obj], cw))
+				}
+				nextW = intersectSets(nextW, cw)
+				nextR = intersectSets(nextR, cr)
+			}
+			if !sameSet(nextW, heldW[m.obj]) || !sameSet(nextR, heldR[m.obj]) {
+				heldW[m.obj], heldR[m.obj] = nextW, nextR
+				changed = true
+			}
+		}
+	}
+
+	// Access checks.
+	for _, m := range methods {
+		if isCtorShape(m.name) {
+			continue
+		}
+		hw := unionSets(m.wLocks, heldW[m.obj])
+		hr := unionSets(m.rLocks, unionSets(heldR[m.obj], hw))
+		for _, a := range m.access {
+			if atomicFields[a.field] && !m.atomics[a.field] {
+				p.Reportf(a.pos, "%s.%s is accessed via sync/atomic elsewhere; plain access races",
+					dataOwner[a.field], a.field.Name())
+				continue
+			}
+			g, ok := guard[a.field]
+			if !ok || atomicFields[a.field] {
+				continue
+			}
+			if a.write && !hw[g] {
+				p.Reportf(a.pos, "write to %s.%s without holding %s",
+					dataOwner[a.field], a.field.Name(), g.Name())
+			} else if !a.write && !hr[g] {
+				p.Reportf(a.pos, "read of %s.%s without holding %s (RLock suffices)",
+					dataOwner[a.field], a.field.Name(), g.Name())
+			}
+		}
+	}
+
+	checkLockOrder(p, methods, mutexOwner)
+}
+
+// checkLockOrder scans each body linearly, tracking which receiver
+// mutexes are held at each Lock call, and flags the lexically later edge
+// of any A→B / B→A pair.
+func checkLockOrder(p *Pass, methods []*lfMethod, mutexOwner map[*types.Var]string) {
+	type edge struct {
+		from, to *types.Var
+		pos      token.Pos
+		fn       string
+	}
+	var edges []edge
+	for _, m := range methods {
+		deferred := deferredCalls(m.decl.Body)
+		var held []*types.Var
+		ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // closures run on their own schedule
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			mu, op := mutexCall(p.Info, call, mutexOwner)
+			if mu == nil {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h != mu {
+						edges = append(edges, edge{from: h, to: mu, pos: call.Pos(), fn: m.name})
+					}
+				}
+				held = append(held, mu)
+			case "Unlock", "RUnlock":
+				if deferred[call] {
+					break // released at return; held for the rest of the body
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == mu {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	// First occurrence of each directed pair; report the later direction.
+	first := map[[2]*types.Var]edge{}
+	for _, e := range edges {
+		k := [2]*types.Var{e.from, e.to}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+		}
+	}
+	for _, e := range edges {
+		rev, ok := first[[2]*types.Var{e.to, e.from}]
+		if !ok || rev.pos >= e.pos {
+			continue
+		}
+		file, line, _ := p.rel(rev.pos)
+		p.Reportf(e.pos, "lock order %s.%s → %s.%s in %s conflicts with the %s → %s order at %s:%d (in %s)",
+			mutexOwner[e.from], e.from.Name(), mutexOwner[e.to], e.to.Name(), e.fn,
+			e.to.Name(), e.from.Name(), file, line, rev.fn)
+	}
+}
+
+// summarizeMethod records a method's lock calls, atomic uses, and plain
+// receiver-field accesses.
+func summarizeMethod(p *Pass, fd *ast.FuncDecl, recv *types.Var,
+	mutexOwner map[*types.Var]string, dataOwner map[*types.Var]string) *lfMethod {
+	m := &lfMethod{
+		decl: fd, obj: p.Info.Defs[fd.Name], name: funcDisplayName(p.Info.Defs[fd.Name].(*types.Func)),
+		wLocks: map[*types.Var]bool{}, rLocks: map[*types.Var]bool{},
+		atomics: map[*types.Var]bool{},
+	}
+
+	// Selector nodes consumed by lock calls or atomic arguments are not
+	// plain accesses; assignment spines are writes.
+	consumed := map[*ast.SelectorExpr]bool{}
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel := spineField(p.Info, lhs, recv); sel != nil {
+					writes[sel] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := spineField(p.Info, x.X, recv); sel != nil {
+				writes[sel] = true
+			}
+		case *ast.CallExpr:
+			if mu, op := mutexCall(p.Info, x, mutexOwner); mu != nil {
+				switch op {
+				case "Lock":
+					m.wLocks[mu] = true
+				case "RLock":
+					m.rLocks[mu] = true
+				}
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+						consumed[inner] = true
+					}
+				}
+			}
+			if path, _, ok := pkgFunc(p.Info, x); ok && path == "sync/atomic" {
+				for _, arg := range x.Args {
+					ue, isAddr := arg.(*ast.UnaryExpr)
+					if !isAddr || ue.Op != token.AND {
+						continue
+					}
+					if sel, isSel := ue.X.(*ast.SelectorExpr); isSel {
+						if fld := recvField(p.Info, sel, recv); fld != nil {
+							m.atomics[fld] = true
+							consumed[sel] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || consumed[sel] {
+			return true
+		}
+		fld := recvField(p.Info, sel, recv)
+		if fld == nil {
+			return true
+		}
+		if _, isData := dataOwner[fld]; !isData {
+			return true
+		}
+		m.access = append(m.access, lfAccess{field: fld, pos: sel.Pos(), write: writes[sel]})
+		return true
+	})
+	return m
+}
+
+// mutexCall matches recv.mu.Lock() shapes: a Lock/Unlock/RLock/RUnlock
+// method call whose base is a known mutex field of the receiver.
+func mutexCall(info *types.Info, call *ast.CallExpr, mutexOwner map[*types.Var]string) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := info.Selections[inner]
+	if !ok {
+		return nil, ""
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if _, known := mutexOwner[fld]; !known {
+		return nil, ""
+	}
+	return fld, op
+}
+
+// recvField resolves sel to a field of the method receiver: its base
+// must be the receiver identifier itself.
+func recvField(info *types.Info, sel *ast.SelectorExpr, recv *types.Var) *types.Var {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || info.Uses[id] != recv {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fld, _ := s.Obj().(*types.Var)
+	return fld
+}
+
+// spineField walks an assignment target's access spine (x.f[i].g = …)
+// down its .X chain and returns the receiver-field selector being
+// mutated, if any. Index subscripts are off-spine and stay reads.
+func spineField(info *types.Info, e ast.Expr, recv *types.Var) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if fld := recvField(info, x, recv); fld != nil {
+				return x
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedRecv returns the (possibly pointer-wrapped) named receiver type.
+func namedRecv(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isSyncMutex(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// isSyncType reports whether t comes from sync or sync/atomic —
+// synchronization state is never a guarded data field.
+func isSyncType(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// isCtorShape reports whether name is a constructor-like function that
+// runs before the value is shared.
+func isCtorShape(name string) bool {
+	base := name
+	if i := lastDot(name); i >= 0 {
+		base = name[i+1:]
+	}
+	return base == "init" || (len(base) >= 3 && base[:3] == "New")
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// deferredCalls collects the call expressions inside defer statements.
+func deferredCalls(body ast.Node) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			out[d.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+func copySet(s map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func unionSets(a, b map[*types.Var]bool) map[*types.Var]bool {
+	out := copySet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectSets(a, b map[*types.Var]bool) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[*types.Var]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+// Package ctxleak exercises the ctxleak rule with a local Group shaped
+// like track.Group (a named Group with Go and Wait methods): every
+// launch site needs a reachable Wait.
+package ctxleak
+
+type Group struct {
+	n int
+}
+
+func (g *Group) Go(fn func()) {
+	g.n++
+	fn()
+}
+
+func (g *Group) Wait() {}
+
+func Drained(fns []func()) {
+	var g Group
+	for _, fn := range fns {
+		g.Go(fn)
+	}
+	g.Wait()
+}
+
+func Leaky(fns []func()) {
+	var g Group
+	for _, fn := range fns {
+		g.Go(fn)
+	}
+}
+
+func EarlyReturn(fns []func(), stop bool) {
+	var g Group
+	g.Go(fns[0])
+	if stop {
+		return
+	}
+	g.Wait()
+}
+
+func DeferredOK(fns []func()) {
+	var g Group
+	defer g.Wait()
+	g.Go(fns[0])
+	if len(fns) > 1 {
+		return
+	}
+	g.Go(fns[1])
+}
+
+type server struct {
+	g Group
+}
+
+func (s *server) Start(fn func()) {
+	s.g.Go(fn)
+}
+
+func (s *server) Close() {
+	s.g.Wait()
+}
+
+type leakServer struct {
+	g Group
+}
+
+func (l *leakServer) Start(fn func()) {
+	l.g.Go(fn)
+}

@@ -1,0 +1,41 @@
+// Package generics proves the engine survives instantiation syntax:
+// analyzers see through explicit f[T](…) and box[T]{…} shapes instead
+// of panicking or silently skipping, and hot-path propagation follows
+// generic call edges.
+package generics
+
+type number interface {
+	~int | ~float64
+}
+
+func sum[T number](vs []T) T {
+	var t T
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+type box[T any] struct {
+	v T
+}
+
+func (b *box[T]) get() T { return b.v }
+
+//motlint:hotpath
+func Total(vs []int) int {
+	return sum[int](vs) + plain(vs)
+}
+
+// plain is hot via Total: the generic call beside it must not hide the
+// chain.
+func plain(vs []int) int {
+	out := make([]int, len(vs))
+	copy(out, vs)
+	return len(out)
+}
+
+func Boxed(v int) int {
+	b := box[int]{v: v}
+	return b.get()
+}

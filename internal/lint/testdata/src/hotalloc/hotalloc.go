@@ -1,0 +1,101 @@
+// Package hotalloc exercises the hotalloc rule: //motlint:hotpath
+// functions and their statically-reachable callees must not allocate;
+// error and panic contexts are cold, waived call edges prune
+// propagation, and constructor shapes are exempt.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type buf struct {
+	scratch []int
+	n       int
+}
+
+//motlint:hotpath
+func (b *buf) Hot(vs []int, label string) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	m := map[int]int{}
+	_ = m
+	s := make([]int, 0, 8)
+	_ = s
+	b.scratch = append(b.scratch, total)
+	b.scratch = append(b.scratch[:0], total)
+	msg := label + "!"
+	_ = msg
+	_ = fmt.Sprint(total)
+	p := &buf{}
+	_ = p
+	helper(b)
+	waived(b) //motlint:ignore hotalloc lazy fill is off the hot path
+	if total < 0 {
+		_ = fail(total)
+	}
+	return total
+}
+
+//motlint:hotpath
+func Convert(s string, sink func(any)) int {
+	bs := []byte(s)
+	n := 0
+	f := func() { n++ }
+	f()
+	sink(n)
+	return len(bs) + variadicSum(1, 2)
+}
+
+//motlint:hotpath
+func MustIndex(vs []int, i int) int {
+	if i >= len(vs) {
+		panic(fmt.Sprintf("index %d out of range", i))
+	}
+	return vs[i]
+}
+
+//motlint:hotpath
+func Checked(vs []int, i int) (int, error) {
+	if i >= len(vs) {
+		return 0, fmt.Errorf("index %d out of range", i)
+	}
+	return vs[i], nil
+}
+
+//motlint:hotpath
+func Spawn() *buf {
+	return NewBuf()
+}
+
+// NewBuf is a constructor shape: allocation is its whole job, and the
+// hot obligation never follows the Spawn → NewBuf edge.
+func NewBuf() *buf {
+	return &buf{scratch: make([]int, 0, 4)}
+}
+
+// helper is hot by propagation from buf.Hot.
+func helper(b *buf) {
+	b.n = len(b.scratch)
+	b.scratch = append(b.scratch, b.n)
+}
+
+// waived is reached only through a waived edge and stays unchecked.
+func waived(b *buf) {
+	b.scratch = append(b.scratch, 1)
+}
+
+// fail is reached only through a cold (error-typed) context.
+func fail(n int) error {
+	return errors.New("negative total")
+}
+
+func variadicSum(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}

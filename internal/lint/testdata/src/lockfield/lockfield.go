@@ -1,0 +1,101 @@
+// Package lockfield exercises the lockfield rule: fields written under
+// a mutex become guarded by it, atomic fields must never be touched
+// plain, unexported helpers inherit their callers' locks, and lock
+// acquisition order must be consistent.
+package lockfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int
+	hits  int64
+	gauge int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+}
+
+func (c *counter) Peek() int {
+	return c.count
+}
+
+func (c *counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) Hits() int64 {
+	return c.hits
+}
+
+func (c *counter) SetGauge(v int) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.gauge = v
+}
+
+func (c *counter) Gauge() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.gauge
+}
+
+// bump inherits the lock from its only caller: every path into it
+// already holds mu, so the plain write is fine.
+func (c *counter) bump() {
+	c.count++
+}
+
+func (c *counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	x int
+	y int
+}
+
+func (p *pair) Forward() {
+	p.a.Lock()
+	p.b.Lock()
+	p.x++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) Backward() {
+	p.b.Lock()
+	p.a.Lock()
+	p.y++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type twin struct {
+	m1 sync.Mutex
+	m2 sync.Mutex
+	v  int
+}
+
+func (t *twin) A() {
+	t.m1.Lock()
+	t.v++
+	t.m1.Unlock()
+}
+
+func (t *twin) B() {
+	t.m2.Lock()
+	t.v++
+	t.m2.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package multirule exercises one line carrying findings from two
+// different rules: an ignore for one rule must not suppress the other.
+package multirule
+
+import (
+	"fmt"
+	"time"
+)
+
+func Both() {
+	fmt.Println(time.Now())
+}
+
+func HalfWaived() {
+	//motlint:ignore walltime logged wall-clock is fine here
+	fmt.Println(time.Now())
+}
+
+func FullyWaived() {
+	//motlint:ignore walltime,printlib driver-style output in a fixture
+	fmt.Println(time.Now())
+}

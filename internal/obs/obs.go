@@ -113,9 +113,13 @@ func New(label string) *Recorder {
 }
 
 // Enabled reports whether the recorder actually records.
+//
+//motlint:hotpath
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // Label returns the recorder's run label ("" when disabled).
+//
+//motlint:hotpath
 func (r *Recorder) Label() string {
 	if r == nil {
 		return ""
@@ -146,6 +150,8 @@ func (r *Recorder) StartSpan(kind string, op uint64, object int, at float64) Spa
 }
 
 // Active reports whether the span records (false for the zero Span).
+//
+//motlint:hotpath
 func (s Span) Active() bool { return s.r != nil }
 
 // Event appends one annotated event to the span. Level is the overlay
@@ -166,6 +172,8 @@ func (s Span) Event(kind string, level, node int, cost, at float64) {
 
 // End closes the span at logical time at. Ending twice keeps the later
 // time; unended spans export with end == start.
+//
+//motlint:hotpath
 func (s Span) End(at float64) {
 	if s.r == nil {
 		return
@@ -178,6 +186,8 @@ func (s Span) End(at float64) {
 }
 
 // SpanCount returns the number of spans recorded so far.
+//
+//motlint:hotpath
 func (r *Recorder) SpanCount() int {
 	if r == nil {
 		return 0

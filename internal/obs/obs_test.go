@@ -193,3 +193,23 @@ func TestSnapshotJSONRoundTrips(t *testing.T) {
 		t.Fatalf("round trip = %+v", back)
 	}
 }
+
+// TestNilRecorderZeroAllocs pins the //motlint:hotpath contract on the
+// nil-sink path: every hook a disabled substrate touches reduces to a
+// pointer test, so instrumentation costs nothing when Obs is off.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	if allocs := testing.AllocsPerRun(200, func() {
+		if r.Enabled() {
+			t.Fatal("nil recorder claims enabled")
+		}
+		_ = r.Label()
+		sp := r.StartSpan(OpMove, 1, 2, 3)
+		_ = sp.Active()
+		sp.Event(EvHop, 0, 1, 2, 3)
+		sp.End(4)
+		_ = r.SpanCount()
+	}); allocs != 0 {
+		t.Fatalf("nil-sink obs path allocates %v per op, want 0", allocs)
+	}
+}

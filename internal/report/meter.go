@@ -1,0 +1,66 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// MeterRow labels one meter snapshot for CSVMeter — typically one row
+// per algorithm or per sweep cell.
+type MeterRow struct {
+	Label string
+	Meter core.CostMeter
+}
+
+// CSVMeter writes complete CostMeter snapshots as CSV: every metered
+// field, snake_cased, one row per labeled meter. This is the exporter
+// of record for raw meters — the meterfields lint rule keeps this
+// header in lockstep with the struct, so a field added to CostMeter
+// cannot silently vanish from the artifact.
+func CSVMeter(w io.Writer, rows []MeterRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"label",
+		"publish_cost", "publish_ops",
+		"maint_cost", "maint_optimal", "maint_ops",
+		"query_cost", "query_optimal", "query_ops",
+		"special_cost", "lb_route_cost",
+		"recovery_cost", "recovery_ops",
+		"sampled_maint_ops", "sampled_maint_cost_est", "sampled_maint_cost_exact",
+		"sampled_maint_opt_est", "sampled_maint_opt_exact",
+		"sampled_query_ops", "sampled_query_cost_est", "sampled_query_cost_exact",
+		"sampled_query_opt_est", "sampled_query_opt_exact",
+		"maint_ratio_sum", "maint_ratio_ops",
+		"query_ratio_sum", "query_ratio_ops",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.4f", v) }
+	for _, r := range rows {
+		m := r.Meter
+		rec := []string{
+			r.Label,
+			f(m.PublishCost), strconv.Itoa(m.PublishOps),
+			f(m.MaintCost), f(m.MaintOptimal), strconv.Itoa(m.MaintOps),
+			f(m.QueryCost), f(m.QueryOptimal), strconv.Itoa(m.QueryOps),
+			f(m.SpecialCost), f(m.LBRouteCost),
+			f(m.RecoveryCost), strconv.Itoa(m.RecoveryOps),
+			strconv.Itoa(m.SampledMaintOps), f(m.SampledMaintCostEst), f(m.SampledMaintCostExact),
+			f(m.SampledMaintOptEst), f(m.SampledMaintOptExact),
+			strconv.Itoa(m.SampledQueryOps), f(m.SampledQueryCostEst), f(m.SampledQueryCostExact),
+			f(m.SampledQueryOptEst), f(m.SampledQueryOptExact),
+			f(m.MaintRatioSum), strconv.Itoa(m.MaintRatioOps),
+			f(m.QueryRatioSum), strconv.Itoa(m.QueryRatioOps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+
+	"repro/internal/core"
+)
+
+// snakeOf mirrors the meterfields lint rule's column naming: PublishCost
+// → publish_cost, LBRouteCost → lb_route_cost.
+func snakeOf(s string) string {
+	rs := []rune(s)
+	var b strings.Builder
+	for i, r := range rs {
+		if unicode.IsUpper(r) {
+			boundary := i > 0 && (unicode.IsLower(rs[i-1]) || unicode.IsDigit(rs[i-1]) ||
+				(i+1 < len(rs) && unicode.IsLower(rs[i+1])))
+			if boundary {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// TestCSVMeterCoversEveryField checks — by reflection, independently of
+// the static meterfields rule — that the CSVMeter header has exactly one
+// column per CostMeter field and that each row is column-aligned.
+func TestCSVMeterCoversEveryField(t *testing.T) {
+	var buf bytes.Buffer
+	m := core.CostMeter{PublishCost: 1.5, PublishOps: 2, QueryCost: 3.25, QueryOps: 4, MaintRatioOps: 7}
+	if err := CSVMeter(&buf, []MeterRow{{Label: "mot", Meter: m}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want header + 1 row", len(recs))
+	}
+	header, row := recs[0], recs[1]
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	cols := map[string]int{}
+	for i, h := range header {
+		cols[h] = i
+	}
+	rt := reflect.TypeOf(core.CostMeter{})
+	if want := rt.NumField() + 1; len(header) != want {
+		t.Fatalf("header has %d columns, want %d (label + every CostMeter field)", len(header), want)
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		col := snakeOf(rt.Field(i).Name)
+		if _, ok := cols[col]; !ok {
+			t.Fatalf("CostMeter.%s has no CSV column %q", rt.Field(i).Name, col)
+		}
+	}
+	if row[cols["label"]] != "mot" {
+		t.Fatalf("label column = %q", row[cols["label"]])
+	}
+	if row[cols["publish_cost"]] != "1.5000" {
+		t.Fatalf("publish_cost = %q, want 1.5000", row[cols["publish_cost"]])
+	}
+	if row[cols["publish_ops"]] != "2" {
+		t.Fatalf("publish_ops = %q, want 2", row[cols["publish_ops"]])
+	}
+	if row[cols["maint_ratio_ops"]] != "7" {
+		t.Fatalf("maint_ratio_ops = %q, want 7", row[cols["maint_ratio_ops"]])
+	}
+}

@@ -249,6 +249,8 @@ func (t *Tracker) objLock(o core.ObjectID) *sync.Mutex {
 // message identity (op, hop, attempt): drops are retried after simulated
 // backoff (accounted, never slept) until MaxAttempts, then the operation
 // unblocks with a typed *chaos.DeliveryError instead of hanging.
+//
+//motlint:hotpath
 func (t *Tracker) send(from graph.NodeID, msg message) {
 	op := msg.op
 	d := t.m.Dist(from, msg.dest)
@@ -288,6 +290,8 @@ func (t *Tracker) send(from graph.NodeID, msg message) {
 }
 
 // deliver forwards the message hop by hop to its destination inbox.
+//
+//motlint:hotpath
 func (t *Tracker) deliver(msg message) {
 	select {
 	case t.inboxes[msg.dest] <- msg:
@@ -296,6 +300,8 @@ func (t *Tracker) deliver(msg message) {
 }
 
 // nodeLoop is one sensor's event loop.
+//
+//motlint:hotpath
 func (t *Tracker) nodeLoop(id graph.NodeID) {
 	for {
 		select {
@@ -311,6 +317,7 @@ func (t *Tracker) slot(n graph.NodeID, st overlay.Station) *slotState {
 	k := slotKey{st.Level, st.Key}
 	s, ok := t.slots[n][k]
 	if !ok {
+		//motlint:ignore hotalloc lazy one-time materialization of a node's slot
 		s = &slotState{dl: make(map[core.ObjectID]overlay.Station)}
 		t.slots[n][k] = s
 	}

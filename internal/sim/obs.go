@@ -16,6 +16,8 @@ import (
 // pointer test when Config.Obs is nil.
 
 // obsSpan opens a span at the current simulated time.
+//
+//motlint:hotpath
 func (s *MOTSim) obsSpan(kind string, id uint64, o core.ObjectID) obs.Span {
 	if s.obs == nil {
 		return obs.Span{}
@@ -25,6 +27,8 @@ func (s *MOTSim) obsSpan(kind string, id uint64, o core.ObjectID) obs.Span {
 
 // obsArrive accounts one message arrival at a station of the given level:
 // a hop event on the span plus the per-level hop count.
+//
+//motlint:hotpath
 func (s *MOTSim) obsArrive(sp obs.Span, level int, host graph.NodeID) {
 	if s.obs == nil {
 		return
@@ -36,6 +40,8 @@ func (s *MOTSim) obsArrive(sp obs.Span, level int, host graph.NodeID) {
 // obsAttempt accounts one transmission attempt toward dest (retries
 // included, mirroring the cost meter): the per-node traffic series, plus
 // a retry event when the fault layer forced a retransmission.
+//
+//motlint:hotpath
 func (s *MOTSim) obsAttempt(sp obs.Span, dest graph.NodeID, d float64, attempt int) {
 	if s.obs == nil {
 		return
