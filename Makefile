@@ -16,14 +16,22 @@
 #                  benches, the sweep-worker timing, and the observability
 #                  nil-sink/enabled ablations; part of make check so the
 #                  bench harnesses can never bit-rot
+#   make churn   — the sustained-churn tier under -race: seeded
+#                  fail/recover schedules on the incremental repair engine
+#                  vs the rebuild baseline, the recovery SLO asserted
+#                  after every epoch, plus the worker-count and
+#                  repair-vs-rebuild byte-identity goldens and the core
+#                  height-shrink regression
 #   make scale   — the large-n smoke tier: one 10 000-node cost-ratio
 #                  cell on the sub-quadratic distance oracle, asserting it
 #                  never freezes an n×n table, plus the oracle/exact
-#                  fallback golden and the sampled exact-metering audit
+#                  fallback golden, the sampled exact-metering audit, and
+#                  the 10k churn cell (repair cost sublinear vs rebuild)
 #   make bench-json — the perf-trajectory suite (frozen vs lazy metric
 #                  reads, all-pairs precompute, substrate-cache on/off
-#                  sweep throughput, oracle build/read vs exact, and a
-#                  10k oracle scale cell) written to BENCH_06.json; CI
+#                  sweep throughput, oracle build/read vs exact, a 10k
+#                  oracle scale cell, and a churn cell with the
+#                  repair-vs-rebuild ratio) written to BENCH_08.json; CI
 #                  uploads the file as an artifact
 #
 # The -race and chaos tiers are intentionally short: they run only the
@@ -38,13 +46,16 @@ RACE_RUN  = 'TestRace|TestParallel|TestGolden|TestStream|TestConcurrent|TestOrac
 CHAOS_PKGS = ./internal/chaos ./internal/core ./internal/sim ./internal/runtime ./internal/experiments .
 CHAOS_RUN  = 'TestChaos|TestGoldenChaos|TestRaceDoubleStop'
 
+CHURN_PKGS = ./internal/hier ./internal/debruijn ./internal/core ./internal/experiments .
+CHURN_RUN  = 'TestChurn|TestGoldenChurn|TestStaleObjects|TestHierRepair|TestExcludeReadmit|TestDynamicJoinLeave|TestQuickJoinLeave|TestIncremental|TestFailRecover|TestFailNode|TestRebuildEachEvent'
+
 # Statement-coverage floor for `make cover` (the suite sits a few points
 # above; raise the floor as coverage grows, never lower it to pass).
-COVER_MIN = 78
+COVER_MIN = 79
 
-.PHONY: check fmt vet build test race chaos scale lint cover bench bench-json
+.PHONY: check fmt vet build test race chaos churn scale lint cover bench bench-json
 
-check: fmt vet build test race chaos scale bench lint
+check: fmt vet build test race chaos churn scale bench lint
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -67,6 +78,9 @@ race:
 chaos:
 	$(GO) test -race -run $(CHAOS_RUN) -timeout 5m $(CHAOS_PKGS)
 
+churn:
+	$(GO) test -race -run $(CHURN_RUN) -timeout 10m $(CHURN_PKGS)
+
 scale:
 	$(GO) test -run 'TestScaleOracle|TestGoldenScaleOracle' -timeout 5m ./internal/experiments
 
@@ -86,4 +100,4 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 bench-json:
-	$(GO) run ./cmd/motsim -benchjson BENCH_06.json
+	$(GO) run ./cmd/motsim -benchjson BENCH_08.json

@@ -1,9 +1,6 @@
 package mot
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/chaos"
 )
 
@@ -24,9 +21,18 @@ type ChaosConfig struct {
 	// MaxAttempts bounds retransmissions per message (0 → 8).
 	MaxAttempts int
 	// ChurnThreshold is the fraction of sensors whose cumulative failures
-	// trigger the coarse §7 fallback — a full Migrate-style rebuild — on
-	// recovery, instead of per-object trail repair. 0 defaults to 0.25.
+	// trigger the coarse §7 fallback — a full rebuild — instead of
+	// fine-grained repair. 0 defaults to 0.25.
 	ChurnThreshold float64
+	// RebuildEachEvent is the validation mode of the incremental regime:
+	// every FailNode/RecoverNode rebuilds the overlay from scratch over
+	// the live set (hier.BuildExcluding) in place of hier.Repair, with the
+	// directory-repair discipline unchanged. Repair lands on a
+	// Fingerprint-identical overlay, so a run under this mode must be
+	// byte-identical to the same run without it — the golden churn tier
+	// replays both and diffs the cost traces. Only meaningful with
+	// Options.IncrementalRepair.
+	RebuildEachEvent bool
 }
 
 // DeliveryError is the typed failure surfaced when a message exhausts its
@@ -41,106 +47,4 @@ func (t *Tracker) churnThreshold() float64 {
 		return t.opt.Chaos.ChurnThreshold
 	}
 	return 0.25
-}
-
-// FailNode models the crash of sensor n: every directory entry stored at
-// its stations is lost and stale shortcuts into it are invalidated. The
-// damaged objects are remembered for repair; queries touching broken
-// trails fail until RecoverNode restores them. Failing an already-failed
-// node is a no-op.
-func (t *Tracker) FailNode(n NodeID) error {
-	if int(n) < 0 || int(n) >= t.g.N() {
-		return fmt.Errorf("mot: fail: node %d out of range [0,%d)", n, t.g.N())
-	}
-	t.chaosMu.Lock()
-	defer t.chaosMu.Unlock()
-	if t.failed == nil {
-		t.failed = make(map[NodeID]bool)
-	}
-	if t.damaged == nil {
-		t.damaged = make(map[ObjectID]bool)
-	}
-	if t.failed[n] {
-		return nil
-	}
-	t.failed[n] = true
-	t.churn++
-	for _, o := range t.dir.DropHost(n) {
-		t.damaged[o] = true
-	}
-	return nil
-}
-
-// RecoverNode brings sensor n back. When the last failed node recovers,
-// the directory is healed: each damaged object's trail is re-stamped from
-// its surviving ground-truth proxy (the fine-grained §7 path, charged to
-// CostMeter.RecoveryCost) — unless cumulative churn exceeded
-// ChurnThreshold × N, in which case the whole hierarchy is rebuilt through
-// Migrate (the coarse fallback) and the old meter carried over.
-func (t *Tracker) RecoverNode(n NodeID) error {
-	t.chaosMu.Lock()
-	defer t.chaosMu.Unlock()
-	if t.failed == nil || !t.failed[n] {
-		return fmt.Errorf("mot: recover: node %d is not failed", n)
-	}
-	delete(t.failed, n)
-	if len(t.failed) > 0 {
-		return nil // heal once the network is whole again
-	}
-	if float64(t.churn) > t.churnThreshold()*float64(t.g.N()) {
-		return t.rebuildLocked()
-	}
-	objs := make([]ObjectID, 0, len(t.damaged))
-	for o := range t.damaged {
-		objs = append(objs, o)
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
-	for _, o := range objs {
-		if _, ok := t.dir.Location(o); !ok {
-			continue // unpublished while damaged
-		}
-		if err := t.dir.Repair(o); err != nil {
-			return fmt.Errorf("mot: recover: %w", err)
-		}
-	}
-	t.damaged = make(map[ObjectID]bool)
-	t.churn = 0
-	return nil
-}
-
-// rebuildLocked is the coarse §7 fallback: migrate onto a fresh hierarchy
-// over the same network (identity relocation) and adopt it in place,
-// preserving accumulated costs. Caller holds chaosMu.
-func (t *Tracker) rebuildLocked() error {
-	fresh, err := Migrate(t, t.g, t.opt, nil)
-	if err != nil {
-		return fmt.Errorf("mot: rebuild past churn threshold: %w", err)
-	}
-	fresh.dir.AbsorbMeter(t.dir.Meter())
-	t.m, t.ov, t.dir, t.cfg = fresh.m, fresh.ov, fresh.dir, fresh.cfg
-	t.damaged = make(map[ObjectID]bool)
-	t.churn = 0
-	return nil
-}
-
-// FailedNodes lists the currently failed sensors, sorted.
-func (t *Tracker) FailedNodes() []NodeID {
-	t.chaosMu.Lock()
-	defer t.chaosMu.Unlock()
-	out := make([]NodeID, 0, len(t.failed))
-	for n := range t.failed {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Unpublish removes object o from tracking (the "object retired / sensor
-// left" half of §7 dynamics); its trail is erased root to proxy.
-// Re-introducing the object later is a fresh Publish.
-func (t *Tracker) Unpublish(o ObjectID) error {
-	t.chaosMu.Lock()
-	delete(t.damaged, o)
-	t.chaosMu.Unlock()
-	return t.dir.Unpublish(o)
 }

@@ -139,8 +139,11 @@ func TestChaosFailRecoverValidation(t *testing.T) {
 	if err := tr.FailNode(-1); err == nil {
 		t.Fatal("negative FailNode accepted")
 	}
-	if err := tr.RecoverNode(0); err == nil {
-		t.Fatal("recovering a healthy node accepted")
+	if err := tr.RecoverNode(0); err != nil {
+		t.Fatalf("recovering a healthy node must be a no-op, got: %v", err)
+	}
+	if err := tr.RecoverNode(-1); err == nil {
+		t.Fatal("negative RecoverNode accepted")
 	}
 	if err := tr.Unpublish(99); err == nil {
 		t.Fatal("unpublishing an unknown object accepted")

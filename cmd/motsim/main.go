@@ -24,6 +24,18 @@
 // byte-identical for a given (seed, rate) at any -workers value; -format
 // md/csv selects the report renderer.
 //
+// -churn rate,seed runs the sustained-churn tier instead of a figure:
+// seeded fail/recover schedules (rate is the fraction of sensors failed
+// per epoch, clamped to the paper's 1–10% regime) interleaved with
+// tracking operations on the incremental repair engine, a rebuild
+// baseline, a fault-free control, and the de Bruijn relabeling, with the
+// recovery SLO asserted after every epoch. The summary is byte-identical
+// for a given (rate, seed) at any -workers value; -format md/csv selects
+// the report renderer:
+//
+//	motsim -churn 0.05,7            # 5% churn per epoch, base seed 7
+//	motsim -churn 0.05,7 -format csv
+//
 // -trace/-metrics/-chrome run the observability sweep instead of a
 // figure: one seeded workload replayed on the sequential core (load
 // balancing on and off), the discrete-event simulator, and the goroutine
@@ -40,10 +52,10 @@
 // -benchjson runs the perf-trajectory benchmark suite instead of a
 // figure and writes a JSON report (frozen vs lazy metric reads,
 // all-pairs precompute, a 16×16-grid sweep with the substrate cache on
-// vs off, oracle build/read costs vs exact, and a 10k oracle scale
-// cell):
+// vs off, oracle build/read costs vs exact, a 10k oracle scale cell,
+// and a sustained-churn cell with the repair-vs-rebuild ratio):
 //
-//	motsim -benchjson BENCH_06.json    # what `make bench-json` runs
+//	motsim -benchjson BENCH_08.json    # what `make bench-json` runs
 //
 // -oracle runs the large-network scale sweep instead of a figure: MOT
 // cost-ratio cells on near-square grids using the sub-quadratic
@@ -158,6 +170,49 @@ func runChaos(spec string, workers int, format string) {
 	}
 }
 
+// runChurn parses "rate,seed" and runs the sustained-churn tier: rate is
+// the per-epoch fraction of failed sensors (the tier clamps to the 1–10%
+// regime), seed salts every schedule stream. format picks the renderer
+// (text, md, csv).
+func runChurn(spec string, workers int, format string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "motsim: -churn wants rate,seed (e.g. -churn 0.05,7), got %q\n", spec)
+		os.Exit(2)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil || rate <= 0 || rate > 1 {
+		fmt.Fprintf(os.Stderr, "motsim: -churn rate %q must be a fraction in (0,1]\n", parts[0])
+		os.Exit(2)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: -churn seed %q: %v\n", parts[1], err)
+		os.Exit(2)
+	}
+	res, err := experiments.RunChurn(experiments.ChurnConfig{
+		BaseSeed:  seed,
+		ChurnRate: rate,
+		Workers:   workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: churn: %v\n", err)
+		os.Exit(1)
+	}
+	switch format {
+	case "md":
+		err = report.MarkdownChurn(os.Stdout, res)
+	case "csv":
+		err = report.CSVChurn(os.Stdout, res)
+	default:
+		experiments.PrintChurn(os.Stdout, res)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motsim: churn report: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 // runOracle runs the large-network scale sweep (oracle substrate) and
 // prints the per-size table to stdout.
 func runOracle(nodes string, seeds, workers int, loadBalance bool) {
@@ -185,7 +240,7 @@ func runOracle(nodes string, seeds, workers int, loadBalance bool) {
 }
 
 // runBenchJSON runs the perf-trajectory benchmark suite and writes the
-// JSON artifact (BENCH_06.json in CI). Progress goes to stderr so the
+// JSON artifact (BENCH_08.json in CI). Progress goes to stderr so the
 // artifact file holds only the report bytes.
 func runBenchJSON(path string) {
 	fmt.Fprintln(os.Stderr, "motsim: running benchmark suite (a minute or so)...")
@@ -212,12 +267,13 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md, or csv")
 	workers := flag.Int("workers", 0, "sweep worker pool size; 0 = one per CPU (output is identical for any value)")
 	chaosSpec := flag.String("chaos", "", "run the chaos tier as 'seed,rate' (e.g. 1,0.15) instead of a figure")
+	churnSpec := flag.String("churn", "", "run the sustained-churn tier as 'rate,seed' (e.g. 0.05,7) instead of a figure")
 	trace := flag.String("trace", "", "write an observability span trace (JSON lines) to this file")
 	metrics := flag.String("metrics", "", "write observability metrics (CSV) to this file")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	obsSize := flag.Int("obs-size", 256, "sensor count of the observability sweep (16x16 grid by default)")
 	obsSeed := flag.Int64("obs-seed", 0, "base seed of the observability sweep")
-	benchJSON := flag.String("benchjson", "", "run the substrate/harness benchmark suite and write BENCH_06-style JSON to this file")
+	benchJSON := flag.String("benchjson", "", "run the substrate/harness benchmark suite and write BENCH_08-style JSON to this file")
 	oracle := flag.Bool("oracle", false, "run the large-network scale sweep (sub-quadratic distance oracle) instead of a figure")
 	nodes := flag.String("nodes", "", "comma-separated node counts of the -oracle sweep (default 10000)")
 	seeds := flag.Int("seeds", 1, "seeds averaged per -oracle cell")
@@ -236,6 +292,10 @@ func main() {
 	}
 	if *chaosSpec != "" {
 		runChaos(*chaosSpec, *workers, *format)
+		return
+	}
+	if *churnSpec != "" {
+		runChurn(*churnSpec, *workers, *format)
 		return
 	}
 	if *trace != "" || *metrics != "" || *chrome != "" {

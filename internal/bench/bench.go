@@ -1,6 +1,6 @@
 // Package bench runs the substrate and harness benchmark suite behind
 // `make bench-json` / `motsim -benchjson` and renders it as a
-// machine-readable JSON artifact (BENCH_06.json) so CI can track the
+// machine-readable JSON artifact (BENCH_08.json) so CI can track the
 // perf trajectory release over release.
 //
 // The suite pins the claims the frozen-metric work makes: the frozen
@@ -12,7 +12,9 @@
 // claims: the sketch oracle builds far faster than an exact Precompute
 // at equal n with O(n·polylog n) bytes/node instead of 8n, its Dist
 // reads stay cheap, and a full 10k-node oracle-mode scale cell runs at
-// a usable cells/sec without ever freezing an n×n table.
+// a usable cells/sec without ever freezing an n×n table — and the PR-8
+// churn claim: sustained-churn schedule cells/sec with the incremental
+// repair engine's recovery cost a small ratio of the rebuild baseline's.
 package bench
 
 import (
@@ -213,6 +215,45 @@ func scaleCell() Result {
 	})
 }
 
+// churnCell measures the sustained-churn tier at small n (the `make
+// churn` workload shape), reporting schedule cells/sec plus the
+// repair-vs-rebuild recovery ratio — the PR-8 acceptance number CI
+// tracks: incremental hier.Repair must stay well under the
+// rebuild-from-scratch baseline on the identical seeded schedule.
+func churnCell() Result {
+	cfg := experiments.ChurnConfig{
+		BaseSeed:       7,
+		Size:           64,
+		Objects:        5,
+		ChurnRate:      0.05,
+		Epochs:         3,
+		Schedules:      3,
+		Workers:        1,
+		DisableRuntime: true,
+	}
+	experiments.ResetSubstrateCache()
+	var last *experiments.ChurnResult
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.RunChurn(cfg)
+			if err != nil {
+				panic(err)
+			}
+			last = res
+		}
+	})
+	ratio := 0.0
+	for i := range last.Schedules {
+		ratio += last.Schedules[i].RecoveryRatio()
+	}
+	ratio /= float64(len(last.Schedules))
+	return toResult("churn/64-repair", r, map[string]float64{
+		"cells_per_sec":         float64(r.N*cfg.Schedules) / r.T.Seconds(),
+		"repair_rebuild_ratio":  ratio,
+		"availability_schedule": last.Schedules[0].Availability(),
+	})
+}
+
 // Run executes the whole suite. It takes a few seconds.
 func Run() *Report {
 	benchmarks := []Result{
@@ -225,7 +266,7 @@ func Run() *Report {
 	}
 	benchmarks = append(benchmarks, oracleBuild(1024, true)...)
 	benchmarks = append(benchmarks, oracleBuild(10000, false)...)
-	benchmarks = append(benchmarks, scaleCell())
+	benchmarks = append(benchmarks, scaleCell(), churnCell())
 	return &Report{
 		Schema:     "mot-bench/v1",
 		GoOS:       runtime.GOOS,

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hier"
+)
+
+// Error paths of the recovery surface (Repair / Unpublish / DropHost /
+// Restore), exercised directly at the core layer.
+
+func TestRecoveryErrorPaths(t *testing.T) {
+	d, g := buildDir(t, 5, 5, hier.Config{Seed: 2, SpecialParentOffset: 2}, Config{})
+	if err := d.Repair(9); err == nil {
+		t.Fatal("Repair of an unpublished object accepted")
+	}
+	if err := d.Unpublish(9); err == nil {
+		t.Fatal("Unpublish of an unpublished object accepted")
+	}
+	if got := d.DropHost(graph.NodeID(g.N() + 5)); len(got) != 0 {
+		// Dropping a host outside the graph damages nothing: no station
+		// is hosted there and no SDL shortcut can point into it.
+		t.Fatalf("DropHost out of range damaged %v", got)
+	}
+	if err := d.Publish(1, 3); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := d.Restore(1, 4); err == nil {
+		t.Fatal("Restore of a still-published object accepted")
+	}
+	if err := d.Unpublish(1); err != nil {
+		t.Fatalf("Unpublish: %v", err)
+	}
+	if err := d.Unpublish(1); err == nil {
+		t.Fatal("double Unpublish accepted")
+	}
+}
+
+// TestRestoreMatchesPublishState pins Restore's contract: identical
+// directory state to a fresh Publish at the same proxy, with the walk
+// charged to RecoveryCost instead of PublishCost.
+func TestRestoreMatchesPublishState(t *testing.T) {
+	hcfg := hier.Config{Seed: 3, UseParentSets: true, SpecialParentOffset: 2}
+	da, g := buildDir(t, 6, 6, hcfg, Config{})
+	db, _ := buildDir(t, 6, 6, hcfg, Config{})
+	at := graph.NodeID(g.N() / 2)
+	if err := da.Publish(7, at); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := db.Restore(7, at); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	ma, mb := da.Meter(), db.Meter()
+	if ma.PublishCost == 0 || mb.RecoveryCost != ma.PublishCost {
+		t.Fatalf("RecoveryCost %v != PublishCost %v", mb.RecoveryCost, ma.PublishCost)
+	}
+	if mb.PublishCost != 0 || mb.PublishOps != 0 {
+		t.Fatalf("Restore leaked into the publish meter: %+v", mb)
+	}
+	if got := db.StaleObjects(nil); len(got) != 0 {
+		t.Fatalf("restored object reported stale: %v", got)
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after Restore: %v", err)
+	}
+	dlA, sdlA := da.EntryCount()
+	dlB, sdlB := db.EntryCount()
+	if dlA != dlB || sdlA != sdlB {
+		t.Fatalf("entry counts diverge: publish (%d,%d) vs restore (%d,%d)", dlA, sdlA, dlB, sdlB)
+	}
+}
+
+func TestStaleObjectsFlagsDamageAndSkipsFailedProxies(t *testing.T) {
+	d, g := buildDir(t, 6, 6, hier.Config{Seed: 5, UseParentSets: true, SpecialParentOffset: 2}, Config{})
+	locs := populate(t, d, g, 4, 11)
+	if got := d.StaleObjects(nil); len(got) != 0 {
+		t.Fatalf("healthy directory reported stale objects %v", got)
+	}
+	victim := locs[2]
+	damaged := d.DropHost(victim)
+	if len(damaged) == 0 {
+		t.Fatal("DropHost of a live proxy damaged nothing")
+	}
+	stale := d.StaleObjects(nil)
+	if len(stale) == 0 {
+		t.Fatal("StaleObjects missed crash damage")
+	}
+	// Staleness is sound with respect to DropHost: a trail can only break
+	// where damage was reported, so stale ⊆ damaged. (The reverse need not
+	// hold — losing an SDL shortcut leaves the trail walkable.)
+	damagedSet := map[ObjectID]bool{}
+	for _, o := range damaged {
+		damagedSet[o] = true
+	}
+	for _, o := range stale {
+		if !damagedSet[o] {
+			t.Fatalf("object %d stale without reported damage", o)
+		}
+	}
+	// With the victim's proxy objects skipped, the rest must still show.
+	skipped := d.StaleObjects(func(n graph.NodeID) bool { return n == victim })
+	for _, o := range skipped {
+		if loc, _ := d.Location(o); loc == victim {
+			t.Fatalf("skip predicate ignored for object %d", o)
+		}
+	}
+	for _, o := range stale {
+		if loc, _ := d.Location(o); loc != victim {
+			found := false
+			for _, s := range skipped {
+				if s == o {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("object %d lost by skip predicate", o)
+			}
+		}
+	}
+	// Repairing everything DropHost reported heals the directory — the
+	// victim hosts stations but is not excluded from the overlay here, so
+	// even its own proxy objects re-stamp cleanly.
+	for _, o := range damaged {
+		if err := d.Repair(o); err != nil {
+			t.Fatalf("Repair(%d): %v", o, err)
+		}
+	}
+	if got := d.StaleObjects(nil); len(got) != 0 {
+		t.Fatalf("stale objects after repair: %v", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after repair: %v", err)
+	}
+}
+
+// TestStaleObjectsDetectsOverlayDrift pins the structural half: when an
+// incremental hierarchy repair moves the root, every trail loses its
+// anchor and is reported stale even though no slot was wiped — and a
+// repair pass under the new overlay heals the directory.
+func TestStaleObjectsDetectsOverlayDrift(t *testing.T) {
+	g := graph.Grid(7, 7)
+	m := graph.NewMetric(g)
+	hcfg := hier.Config{Seed: 9, UseParentSets: true, SpecialParentOffset: 2, Incremental: true}
+	hs, err := hier.BuildExcluding(g, m, hcfg, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	d := New(hs, Config{})
+	populate(t, d, g, 6, 13)
+
+	// Fail the root node: re-election moves the trail anchor, so reachable
+	// objects go stale without any directory entry being destroyed.
+	oldRoot := hs.RootNode()
+	if err := hs.Exclude(oldRoot); err != nil {
+		t.Fatalf("Exclude: %v", err)
+	}
+	if _, err := hs.Repair([]graph.NodeID{oldRoot}); err != nil {
+		t.Fatalf("hier.Repair: %v", err)
+	}
+	if hs.RootNode() == oldRoot {
+		t.Fatal("repair kept the excluded root")
+	}
+	skip := func(n graph.NodeID) bool { return n == oldRoot }
+	stale := d.StaleObjects(skip)
+	if len(stale) == 0 {
+		t.Fatal("root re-election left no stale objects")
+	}
+	for _, o := range stale {
+		if err := d.Repair(o); err != nil {
+			t.Fatalf("Repair(%d): %v", o, err)
+		}
+	}
+	if got := d.StaleObjects(skip); len(got) != 0 {
+		t.Fatalf("stale objects after structural repair: %v", got)
+	}
+	// Quiescence: readmit the node, repair the overlay back to its pristine
+	// shape, heal whatever drifted again, and demand full invariants.
+	if err := hs.Readmit(oldRoot); err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	if _, err := hs.Repair([]graph.NodeID{oldRoot}); err != nil {
+		t.Fatalf("hier.Repair after readmit: %v", err)
+	}
+	for _, o := range d.StaleObjects(nil) {
+		if err := d.Repair(o); err != nil {
+			t.Fatalf("Repair(%d): %v", o, err)
+		}
+	}
+	if got := d.StaleObjects(nil); len(got) != 0 {
+		t.Fatalf("stale objects at quiescence: %v", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariants at quiescence: %v", err)
+	}
+}
+
+// TestStaleObjectsFlagsFragmentsAboveShrunkRoot is the height-shrink
+// regression: when an incremental repair lowers the hierarchy root, a
+// trail whose suffix below the new root is still walkable keeps stale
+// top entries above it. Those fragments sit above every query climb, so
+// the walk-validity predicate alone never flags them and they leak as
+// orphans; StaleObjects must report such objects so the repair pass
+// wipes the fragments.
+func TestStaleObjectsFlagsFragmentsAboveShrunkRoot(t *testing.T) {
+	g := graph.Grid(6, 6)
+	m := graph.NewMetric(g)
+	hcfg := hier.Config{Seed: 4, UseParentSets: true, SpecialParentOffset: 2, Incremental: true}
+	hs, err := hier.BuildExcluding(g, m, hcfg, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	d := New(hs, Config{})
+	// One object per sensor: whatever shape the shrink takes, some trail
+	// keeps a walkable suffix through the new root.
+	for n := 0; n < g.N(); n++ {
+		if err := d.Publish(ObjectID(n), graph.NodeID(n)); err != nil {
+			t.Fatalf("Publish(%d): %v", n, err)
+		}
+	}
+	// Excluding this victim grows the hierarchy by a level; trails healed
+	// during the outage are stamped up to that taller root. Readmitting
+	// shrinks the root back DOWN, stranding those top entries above every
+	// walk — the leak condition under test. (Seed and victim are picked so
+	// that at least one re-stamped trail stays walkable through the new
+	// root while holding a fragment above it: the walk-validity predicate
+	// alone misses it and CheckInvariants reports an orphaned entry.)
+	const victim = graph.NodeID(18)
+	if err := hs.Exclude(victim); err != nil {
+		t.Fatalf("Exclude: %v", err)
+	}
+	if _, err := hs.Repair([]graph.NodeID{victim}); err != nil {
+		t.Fatalf("hier.Repair: %v", err)
+	}
+	skip := func(n graph.NodeID) bool { return n == victim }
+	for _, o := range d.StaleObjects(skip) {
+		if err := d.Repair(o); err != nil {
+			t.Fatalf("Repair(%d): %v", o, err)
+		}
+	}
+	midLevel := hs.Root().Level
+	if err := hs.Readmit(victim); err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	if _, err := hs.Repair([]graph.NodeID{victim}); err != nil {
+		t.Fatalf("hier.Repair after readmit: %v", err)
+	}
+	if got := hs.Root().Level; got >= midLevel {
+		t.Fatalf("readmit kept height %d (was %d mid-churn) — the seed no longer shrinks; repick", got, midLevel)
+	}
+	// Quiescence at the SHRUNK height: entries stamped at the old root
+	// level now sit above every walk. StaleObjects must flag their
+	// objects even when the walk below the new root still succeeds — the
+	// orphan check of CheckInvariants is what catches the leak otherwise.
+	for _, o := range d.StaleObjects(nil) {
+		if err := d.Repair(o); err != nil {
+			t.Fatalf("Repair(%d): %v", o, err)
+		}
+	}
+	if got := d.StaleObjects(nil); len(got) != 0 {
+		t.Fatalf("stale objects at quiescence: %v", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariants at quiescence: %v", err)
+	}
+}
+
+// TestAbsorbMeterIdentity pins meter continuity across a migration-style
+// handoff: absorbing the old meter then adding new work equals the sum of
+// both histories field by field.
+func TestAbsorbMeterIdentity(t *testing.T) {
+	hcfg := hier.Config{Seed: 4, UseParentSets: true, SpecialParentOffset: 2}
+	da, g := buildDir(t, 6, 6, hcfg, Config{})
+	populate(t, da, g, 3, 17)
+	old := da.Meter()
+
+	db, _ := buildDir(t, 6, 6, hcfg, Config{})
+	db.AbsorbMeter(old)
+	if got := db.Meter(); got != old {
+		t.Fatalf("AbsorbMeter into empty meter not identity:\n got %+v\nwant %+v", got, old)
+	}
+	// New work accumulates on top without disturbing absorbed history.
+	if err := db.Publish(50, 0); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	got := db.Meter()
+	if got.MaintCost != old.MaintCost || got.MaintOps != old.MaintOps {
+		t.Fatalf("absorbed maintenance history changed: %+v vs %+v", got, old)
+	}
+	if got.PublishOps != old.PublishOps+1 || got.PublishCost <= old.PublishCost {
+		t.Fatalf("new publish not accumulated: %+v", got)
+	}
+}

@@ -157,8 +157,13 @@ func New(ov overlay.Overlay, cfg Config) *Directory {
 	return d
 }
 
-// Overlay returns the overlay the directory runs on.
-func (d *Directory) Overlay() overlay.Overlay { return d.ov }
+// Overlay returns the overlay the directory runs on (ov is mu-guarded
+// since SwapOverlay can replace it after a churn rebuild).
+func (d *Directory) Overlay() overlay.Overlay {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ov
+}
 
 // Meter returns a snapshot of the accumulated cost counters.
 func (d *Directory) Meter() CostMeter {

@@ -29,6 +29,22 @@ func (d *Directory) Publish(o ObjectID, at graph.NodeID) error {
 		return fmt.Errorf("core: object %d already published at node %d", o, cur)
 	}
 	d.obsStart(obs.OpPublish, o)
+	cost := d.stampWalk(o, at, 0)
+	d.loc[o] = at
+	d.ver[o] = 0
+	d.meter.PublishCost += cost
+	d.meter.PublishOps++
+	d.obsFinish(cost)
+	return nil
+}
+
+// stampWalk performs the publish-shaped walk that stamps o along the home
+// chain of DPath(at) up to the root at version ver, returning the walk
+// cost. Publish, Repair, and Restore share it so a re-stamped trail is
+// state- and cost-identical to a freshly published one.
+//
+//motlint:hotpath
+func (d *Directory) stampWalk(o ObjectID, at graph.NodeID, ver uint64) float64 {
 	path := d.ov.DPath(at)
 	cost := 0.0
 	prev := path[0][0]
@@ -40,14 +56,9 @@ func (d *Directory) Publish(o ObjectID, at graph.NodeID) error {
 			d.obsVisit(st)
 		}
 		d.obsEvent(obs.EvHop, l, prev.Host, cost-lvl)
-		cost += d.stampHome(at, path, l, o, 0)
+		cost += d.stampHome(at, path, l, o, ver)
 	}
-	d.loc[o] = at
-	d.ver[o] = 0
-	d.meter.PublishCost += cost
-	d.meter.PublishOps++
-	d.obsFinish(cost)
-	return nil
+	return cost
 }
 
 // Move performs a maintenance operation: object o has moved from its

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/overlay"
 )
 
 // Fault recovery (the §7 adaptability path, fine-grained form): when a
@@ -144,23 +145,127 @@ func (d *Directory) Repair(o ObjectID) error {
 	// than per-slot events whose order would track map iteration.
 	d.obsEvent(obs.EvWipe, -1, proxy, 0)
 	d.wipe(o)
-	path := d.ov.DPath(proxy)
-	cost := 0.0
-	prev := path[0][0]
-	for l := 0; l < len(path); l++ {
-		lvl := cost
-		for _, st := range path[l] {
-			cost += d.m.Dist(prev.Host, st.Host)
-			prev = st
-			d.obsVisit(st)
-		}
-		d.obsEvent(obs.EvHop, l, prev.Host, cost-lvl)
-		cost += d.stampHome(proxy, path, l, o, d.ver[o])
-	}
+	cost := d.stampWalk(o, proxy, d.ver[o])
 	d.meter.RecoveryCost += cost
 	d.meter.RecoveryOps++
 	d.obsFinish(cost)
 	return nil
+}
+
+// Restore re-introduces object o at proxy node at: the same walk and
+// resulting directory state as Publish, but charged to RecoveryCost. The
+// churn path uses it where the re-stamp is repair work rather than a new
+// object — republishing the population into a fresh post-rebuild
+// directory, and re-introducing objects parked on a failed proxy once the
+// node recovers — so fault-free cost ratios stay comparable.
+func (d *Directory) Restore(o ObjectID, at graph.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.loc[o]; ok {
+		return fmt.Errorf("core: object %d already published at node %d", o, cur)
+	}
+	d.obsStart(obs.OpRecovery, o)
+	cost := d.stampWalk(o, at, 0)
+	d.loc[o] = at
+	d.ver[o] = 0
+	d.meter.RecoveryCost += cost
+	d.meter.RecoveryOps++
+	d.obsFinish(cost)
+	return nil
+}
+
+// StaleObjects returns the sorted IDs of published objects whose stored
+// trail is no longer operational under the current overlay: following the
+// detection trail from the current root station down its child pointers
+// must reach the object's ground-truth proxy at level 0. That walk fails
+// after crash damage (DropHost wiped a link) and after structural overlay
+// repair moved the root or the height (the trail's anchor is gone), which
+// are exactly the cases where a climbing operation could miss the object
+// — every surviving trail is still found through its peak, at worst at
+// the root (Lemma 2.1's meeting argument needs only the anchored top).
+// The set is what a recovery pass must Repair; healthy move-shaped trails
+// are not flagged, which keeps repair work local to the perturbation.
+// Objects whose proxy satisfies skip (nil skips none) are not examined —
+// a failed proxy has no defined detection path until it recovers.
+func (d *Directory) StaleObjects(skip func(graph.NodeID) bool) []ObjectID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	objs := make([]ObjectID, 0, len(d.loc))
+	for o := range d.loc {
+		if skip != nil && skip(d.loc[o]) {
+			continue
+		}
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	out := objs[:0]
+	root := d.ov.Root()
+	// Slots above the current root level can only hold fragments of
+	// trails stamped when the hierarchy was taller: after a height
+	// shrink no walk — queries never climb past the root — reaches
+	// them, so their objects must be re-stamped even when the walk
+	// below the new root succeeds, or the fragments leak as orphans.
+	var high []*slot
+	for _, k := range d.sortedSlotKeys() {
+		if s := d.slots[k]; k.level > root.Level && (len(s.dl) > 0 || len(s.sdl) > 0) {
+			high = append(high, s)
+		}
+	}
+	for _, o := range objs {
+		if !d.trailIntact(o, d.loc[o], root) || holdsAbove(high, o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// holdsAbove reports whether any of the above-root slots still records o.
+func holdsAbove(high []*slot, o ObjectID) bool {
+	for _, s := range high {
+		if _, has := s.dl[o]; has {
+			return true
+		}
+		if _, has := s.sdl[o]; has {
+			return true
+		}
+	}
+	return false
+}
+
+// trailIntact follows o's stored trail from the given root station down
+// to level 0, reporting whether it is unbroken and ends at the proxy.
+func (d *Directory) trailIntact(o ObjectID, proxy graph.NodeID, root overlay.Station) bool {
+	st := root
+	for {
+		s, ok := d.peek(st)
+		if !ok {
+			return false
+		}
+		e, has := s.dl[o]
+		if !has {
+			return false
+		}
+		if !e.hasChild {
+			return st.Level == 0 && st.Host == proxy
+		}
+		if e.child.Level != st.Level-1 {
+			// Level strictly decreases, so the walk always terminates.
+			return false
+		}
+		st = e.child
+	}
+}
+
+// SwapOverlay replaces the directory's overlay (and its metric oracle)
+// with a rebuilt one over the same network. Stored trails are untouched:
+// the caller must follow up with a StaleObjects sweep and Repair whatever
+// the structural change broke, exactly as after an in-place overlay
+// repair.
+func (d *Directory) SwapOverlay(ov overlay.Overlay) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ov = ov
+	d.m = ov.Metric()
 }
 
 // AbsorbMeter folds a previous directory's accumulated costs into this one,

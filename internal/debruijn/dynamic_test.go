@@ -1,0 +1,161 @@
+package debruijn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// checkConsistent verifies the structural invariants the §7 relabeling
+// must preserve after every Join/Leave: labels form a bijection onto
+// 0..|X|-1, the emulated dimension matches the member count, and every
+// neighborhood table resolves to current members.
+func checkConsistent(e *Embedding) error {
+	size := e.Size()
+	if got, want := e.Dimension(), dimension(size); got != want {
+		return fmt.Errorf("dimension %d for %d members, want %d", got, size, want)
+	}
+	seen := make(map[graph.NodeID]bool, size)
+	for label := 0; label < size; label++ {
+		h, err := e.Host(label)
+		if err != nil {
+			return fmt.Errorf("Host(%d): %w", label, err)
+		}
+		if seen[h] {
+			return fmt.Errorf("host %d emulates two labels", h)
+		}
+		seen[h] = true
+		if e.LabelOf(h) != label {
+			return fmt.Errorf("LabelOf(%d) = %d, want %d", h, e.LabelOf(h), label)
+		}
+		if !e.Contains(h) {
+			return fmt.Errorf("member %d not Contains()ed", h)
+		}
+		nt, err := e.NeighborTable(label)
+		if err != nil {
+			return fmt.Errorf("NeighborTable(%d): %w", label, err)
+		}
+		for _, nb := range nt {
+			if !e.Contains(nb) {
+				return fmt.Errorf("label %d neighbor host %d left the cluster", label, nb)
+			}
+		}
+	}
+	// Labels in [|X|, 2^d) are emulated by dropping the top bit; they must
+	// resolve to a member. Beyond 2^d is out of range.
+	for label := size; label < 1<<e.Dimension(); label++ {
+		h, err := e.Host(label)
+		if err != nil {
+			return fmt.Errorf("emulated Host(%d): %w", label, err)
+		}
+		if !e.Contains(h) {
+			return fmt.Errorf("emulated label %d maps to non-member %d", label, h)
+		}
+	}
+	if _, err := e.Host(1 << e.Dimension()); err == nil {
+		return fmt.Errorf("Host(%d) beyond the label space accepted", 1<<e.Dimension())
+	}
+	return nil
+}
+
+// TestDynamicJoinLeaveProperties drives random §7 join/leave schedules
+// through testing/quick: after every step the embedding must stay
+// consistent, the relabel count must respect the amortized-O(1) bounds
+// (O(1) inside a power-of-two band, |X| when the dimension changes), and
+// routing between random labels must stay well-formed.
+func TestDynamicJoinLeaveProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const universe = 64
+		size := 1 + rng.Intn(8)
+		members := make([]graph.NodeID, size)
+		in := make(map[graph.NodeID]bool, universe)
+		for i := range members {
+			members[i] = graph.NodeID(i)
+			in[members[i]] = true
+		}
+		e := New(members)
+		for step := 0; step < 60; step++ {
+			h := graph.NodeID(rng.Intn(universe))
+			oldSize, oldD := e.Size(), e.Dimension()
+			if in[h] {
+				upd, err := e.Leave(h)
+				if oldSize == 1 {
+					if err == nil {
+						t.Logf("seed %d step %d: removing the last member accepted", seed, step)
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					t.Logf("seed %d step %d: Leave(%d): %v", seed, step, h, err)
+					return false
+				}
+				delete(in, h)
+				if e.Dimension() != oldD {
+					if upd != e.Size()+1 {
+						t.Logf("seed %d step %d: dimension shrink relabeled %d, want %d", seed, step, upd, e.Size()+1)
+						return false
+					}
+				} else if upd > 5 {
+					t.Logf("seed %d step %d: steady leave relabeled %d > 5", seed, step, upd)
+					return false
+				}
+			} else {
+				upd, err := e.Join(h)
+				if err != nil {
+					t.Logf("seed %d step %d: Join(%d): %v", seed, step, h, err)
+					return false
+				}
+				in[h] = true
+				if e.Dimension() != oldD {
+					if upd != e.Size() {
+						t.Logf("seed %d step %d: dimension growth relabeled %d, want %d", seed, step, upd, e.Size())
+						return false
+					}
+				} else if upd > 6 {
+					t.Logf("seed %d step %d: steady join relabeled %d > 6", seed, step, upd)
+					return false
+				}
+			}
+			if err := checkConsistent(e); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			u, v := rng.Intn(e.Size()), rng.Intn(e.Size())
+			path, err := e.Route(u, v)
+			if err != nil {
+				t.Logf("seed %d step %d: Route(%d,%d): %v", seed, step, u, v, err)
+				return false
+			}
+			if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+				t.Logf("seed %d step %d: Route(%d,%d) endpoints wrong: %v", seed, step, u, v, path)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicErrorPaths(t *testing.T) {
+	e := New([]graph.NodeID{3, 5})
+	if _, err := e.Join(3); err == nil {
+		t.Fatal("duplicate Join accepted")
+	}
+	if _, err := e.Leave(9); err == nil {
+		t.Fatal("Leave of a non-member accepted")
+	}
+	if _, err := e.Leave(3); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if _, err := e.Leave(5); err == nil {
+		t.Fatal("removing the last member accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package dynamics implements the §7 incremental churn engine: a mutable
+// HS hierarchy plus directory that stay consistent while sensors fail and
+// recover. Every liveness flip is handled immediately — hier.Repair
+// re-elects the overlay locally (landing on the exact hierarchy a
+// from-scratch rebuild of the live set would produce) and precisely the
+// trails the event broke (crash damage ∪ structural staleness) are
+// re-stamped — so tracking stays available throughout and repair work is
+// local to the perturbation. Past ChurnThreshold × N cumulative failures
+// the coarse fallback rebuilds overlay and directory from scratch over
+// the live set, parking objects whose proxy is down until it returns.
+//
+// The engine is deliberately unsynchronized: callers serialize churn
+// events against tracking operations (the mot facade holds its churn
+// lock; the experiments harness is sequential per schedule).
+package dynamics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hier"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Hier configures the HS overlay; Incremental is forced on.
+	Hier hier.Config
+	// Core configures the directory (placement must be host placement —
+	// the load-balanced distribution does not survive overlay mutation).
+	Core core.Config
+	// ChurnThreshold is the fraction of sensors whose cumulative failures
+	// trigger the coarse rebuild; <= 0 defaults to 0.25.
+	ChurnThreshold float64
+	// RebuildEachEvent is the validation mode: every event rebuilds the
+	// overlay from scratch over the live set (hier.BuildExcluding) in
+	// place of hier.Repair, with the directory-repair discipline
+	// unchanged. Repair lands on a Fingerprint-identical overlay, so a
+	// run under this mode must be byte-identical to the same run without
+	// it — the golden churn tier replays both and diffs the cost traces.
+	RebuildEachEvent bool
+}
+
+// Engine owns the churn-mutable overlay and directory.
+type Engine struct {
+	g   *graph.Graph
+	dm  graph.DistanceOracle
+	cfg Config
+
+	hs  *hier.Hierarchy
+	dir *core.Directory
+
+	failed  map[graph.NodeID]bool
+	damaged map[core.ObjectID]bool
+	parked  map[core.ObjectID]graph.NodeID
+	churn   int
+}
+
+// New builds a pristine engine over the full live set.
+func New(g *graph.Graph, dm graph.DistanceOracle, cfg Config) (*Engine, error) {
+	cfg.Hier.Incremental = true
+	if cfg.ChurnThreshold <= 0 {
+		cfg.ChurnThreshold = 0.25
+	}
+	hs, err := hier.BuildExcluding(g, dm, cfg.Hier, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dynamics: %w", err)
+	}
+	return &Engine{
+		g: g, dm: dm, cfg: cfg,
+		hs:      hs,
+		dir:     core.New(hs, cfg.Core),
+		failed:  make(map[graph.NodeID]bool),
+		damaged: make(map[core.ObjectID]bool),
+		parked:  make(map[core.ObjectID]graph.NodeID),
+	}, nil
+}
+
+// Directory returns the live directory. The pointer changes when a
+// threshold rebuild replaces it — re-read after every Fail/Recover.
+func (e *Engine) Directory() *core.Directory { return e.dir }
+
+// Overlay returns the live hierarchy (same caveat as Directory).
+func (e *Engine) Overlay() *hier.Hierarchy { return e.hs }
+
+// IsFailed reports whether sensor n is currently down.
+func (e *Engine) IsFailed(n graph.NodeID) bool { return e.failed[n] }
+
+// FailedNodes lists the currently failed sensors, sorted.
+func (e *Engine) FailedNodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(e.failed))
+	for n := range e.failed {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParkedObjects lists the objects stranded on a failed proxy across a
+// coarse rebuild, sorted; they re-enter the directory when their node
+// recovers.
+func (e *Engine) ParkedObjects() []core.ObjectID {
+	out := make([]core.ObjectID, 0, len(e.parked))
+	for o := range e.parked {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fail takes sensor n down: its stored entries are dropped (core.DropHost),
+// the overlay is repaired around the exclusion, and every broken trail is
+// re-stamped before Fail returns. Failing an already-failed node is a
+// defined no-op.
+func (e *Engine) Fail(n graph.NodeID) error {
+	if int(n) < 0 || int(n) >= e.g.N() {
+		return fmt.Errorf("dynamics: fail: node %d out of range [0,%d)", n, e.g.N())
+	}
+	if e.failed[n] {
+		return nil
+	}
+	if e.hs.LiveCount() <= 2 {
+		return fmt.Errorf("dynamics: fail: node %d would leave fewer than two live sensors", n)
+	}
+	if err := e.hs.Exclude(n); err != nil {
+		return fmt.Errorf("dynamics: fail: %w", err)
+	}
+	e.failed[n] = true
+	e.churn++
+	for _, o := range e.dir.DropHost(n) {
+		e.damaged[o] = true
+	}
+	return e.event(n)
+}
+
+// Recover brings sensor n back, readmits it into the overlay, restores
+// objects parked on it, and re-stamps whatever the readmission perturbed.
+// Recovering a node that is not failed is a defined no-op.
+func (e *Engine) Recover(n graph.NodeID) error {
+	if int(n) < 0 || int(n) >= e.g.N() {
+		return fmt.Errorf("dynamics: recover: node %d out of range [0,%d)", n, e.g.N())
+	}
+	if !e.failed[n] {
+		return nil
+	}
+	delete(e.failed, n)
+	if err := e.hs.Readmit(n); err != nil {
+		return fmt.Errorf("dynamics: recover: %w", err)
+	}
+	if err := e.unpark(n); err != nil {
+		return err
+	}
+	if err := e.event(n); err != nil {
+		return err
+	}
+	if len(e.failed) == 0 {
+		e.churn = 0
+	}
+	return nil
+}
+
+// Unpublish retires object o, wherever it currently lives (directory or
+// parking lot).
+func (e *Engine) Unpublish(o core.ObjectID) error {
+	delete(e.damaged, o)
+	if _, ok := e.parked[o]; ok {
+		delete(e.parked, o)
+		return nil // never entered the rebuilt directory
+	}
+	return e.dir.Unpublish(o)
+}
+
+// event is the shared response to one liveness flip at node n (already
+// Excluded or Readmitted): repair or rebuild the overlay, then re-stamp
+// exactly the trails the event broke.
+func (e *Engine) event(n graph.NodeID) error {
+	if float64(e.churn) > e.cfg.ChurnThreshold*float64(e.g.N()) {
+		return e.rebuild()
+	}
+	if e.cfg.RebuildEachEvent {
+		fresh, err := hier.BuildExcluding(e.g, e.dm, e.cfg.Hier, e.FailedNodes())
+		if err != nil {
+			return fmt.Errorf("dynamics: rebuild-each-event: %w", err)
+		}
+		e.hs = fresh
+		e.dir.SwapOverlay(fresh)
+	} else {
+		if _, err := e.hs.Repair([]graph.NodeID{n}); err != nil {
+			return fmt.Errorf("dynamics: churn repair: %w", err)
+		}
+	}
+	return e.repairStale()
+}
+
+// repairStale re-stamps every object whose trail the last event left
+// broken — the union of crash damage (DropHost) and structural staleness
+// (StaleObjects) — skipping objects whose proxy is down; those stay
+// damaged until their node recovers.
+func (e *Engine) repairStale() error {
+	pending := make(map[core.ObjectID]bool, len(e.damaged))
+	for _, o := range e.dir.StaleObjects(func(u graph.NodeID) bool { return e.failed[u] }) {
+		pending[o] = true
+	}
+	for o := range e.damaged {
+		pending[o] = true
+	}
+	objs := make([]core.ObjectID, 0, len(pending))
+	for o := range pending {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, o := range objs {
+		proxy, ok := e.dir.Location(o)
+		if !ok {
+			delete(e.damaged, o) // unpublished while damaged
+			continue
+		}
+		if e.failed[proxy] {
+			continue // repaired when the proxy recovers
+		}
+		if err := e.dir.Repair(o); err != nil {
+			return fmt.Errorf("dynamics: churn repair: %w", err)
+		}
+		delete(e.damaged, o)
+	}
+	return nil
+}
+
+// unpark re-introduces the objects parked on proxy n, in object order.
+func (e *Engine) unpark(n graph.NodeID) error {
+	objs := make([]core.ObjectID, 0, len(e.parked))
+	for o, proxy := range e.parked {
+		if proxy == n {
+			objs = append(objs, o)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, o := range objs {
+		if err := e.dir.Restore(o, n); err != nil {
+			return fmt.Errorf("dynamics: recover: %w", err)
+		}
+		delete(e.parked, o)
+	}
+	return nil
+}
+
+// rebuild is the coarse fallback: a fresh overlay and directory over the
+// live set, re-introducing every reachable object (charged to
+// RecoveryCost, meter carried over) and parking objects whose proxy is
+// down.
+func (e *Engine) rebuild() error {
+	fresh, err := hier.BuildExcluding(e.g, e.dm, e.cfg.Hier, e.FailedNodes())
+	if err != nil {
+		return fmt.Errorf("dynamics: rebuild past churn threshold: %w", err)
+	}
+	dir := core.New(fresh, e.cfg.Core)
+	dir.AbsorbMeter(e.dir.Meter())
+	for _, o := range e.dir.Objects() {
+		proxy, _ := e.dir.Location(o)
+		if e.failed[proxy] {
+			e.parked[o] = proxy
+			continue
+		}
+		if err := dir.Restore(o, proxy); err != nil {
+			return fmt.Errorf("dynamics: rebuild past churn threshold: %w", err)
+		}
+	}
+	e.hs, e.dir = fresh, dir
+	e.damaged = make(map[core.ObjectID]bool)
+	e.churn = 0
+	return nil
+}

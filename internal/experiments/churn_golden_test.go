@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// churnArtifact renders a churn result's full byte representation: every
+// schedule's cost trace plus its scalar outcome line.
+func churnArtifact(res *ChurnResult) string {
+	var sb strings.Builder
+	for i := range res.Schedules {
+		s := &res.Schedules[i]
+		fmt.Fprintf(&sb, "== schedule %d seed %d ==\n", s.Index, s.Seed)
+		sb.WriteString(s.CostTrace)
+		fmt.Fprintf(&sb, "issued %d masked %d relabels %d repair %.4f/%d rebuild %.4f/%d churn %.4f steady %.4f lost %d\n",
+			s.OpsIssued, s.OpsMasked, s.Relabels,
+			s.RepairRecoveryCost, s.RepairRecoveryOps,
+			s.RebuildRecoveryCost, s.RebuildRecoveryOps,
+			s.ChurnOpCost, s.SteadyOpCost, s.RunFailed)
+	}
+	return sb.String()
+}
+
+// dumpChurnGoldenDiff writes mismatching artifacts for offline inspection
+// (CI uploads the churn-golden-diff directory when these tests fail).
+func dumpChurnGoldenDiff(t *testing.T, name, a, b string) {
+	t.Helper()
+	dir := "churn-golden-diff"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("cannot create %s: %v", dir, err)
+		return
+	}
+	for suffix, data := range map[string]string{"-a": a, "-b": b} {
+		p := filepath.Join(dir, name+suffix+".txt")
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Logf("cannot write %s: %v", p, err)
+		}
+	}
+	t.Logf("dumped mismatching artifacts under %s/", dir)
+}
+
+var churnGoldenConfig = ChurnConfig{
+	BaseSeed:  19,
+	Size:      64,
+	Objects:   5,
+	ChurnRate: 0.06,
+	Epochs:    3,
+	Schedules: 3,
+}
+
+// TestGoldenChurnParallelMatchesSequential pins worker-count determinism:
+// the full churn artifact is byte-identical on one worker and on four.
+func TestGoldenChurnParallelMatchesSequential(t *testing.T) {
+	cfg := churnGoldenConfig
+	cfg.Workers = 1
+	seqRes, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parRes, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := churnArtifact(seqRes), churnArtifact(parRes)
+	if seq != par {
+		dumpChurnGoldenDiff(t, "workers", seq, par)
+		t.Fatal("churn artifact differs between Workers=1 and Workers=4")
+	}
+}
+
+// TestGoldenChurnRebuildEachEventMatchesRepair pins the tentpole's
+// correctness argument in the large: hier.Repair lands on overlays
+// Fingerprint-identical to from-scratch rebuilds, so flipping the
+// validation mode must not change a single output byte of the tier.
+func TestGoldenChurnRebuildEachEventMatchesRepair(t *testing.T) {
+	cfg := churnGoldenConfig
+	repairRes, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RebuildEachEvent = true
+	rebuildRes, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repair, rebuild := churnArtifact(repairRes), churnArtifact(rebuildRes)
+	if repair != rebuild {
+		dumpChurnGoldenDiff(t, "rebuild-mode", repair, rebuild)
+		t.Fatal("churn artifact differs between repair mode and rebuild-each-event mode")
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnTierSLO is the headline churn cell: sustained 1–10% churn with
+// the SLO asserted inside RunChurn (any issued operation failing past the
+// grace window aborts the schedule), invariants and zero staleness at
+// every epoch's quiescence, and the tentpole's economics — incremental
+// repair strictly cheaper than the rebuild baseline, availability above
+// the masked floor.
+func TestChurnTierSLO(t *testing.T) {
+	res, err := RunChurn(ChurnConfig{
+		BaseSeed:  7,
+		Size:      64,
+		Objects:   5,
+		ChurnRate: 0.05,
+		Epochs:    3,
+		Schedules: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Schedules {
+		s := &res.Schedules[i]
+		if s.FailEvents == 0 || s.FailEvents != s.RecoverEvents {
+			t.Fatalf("schedule %d: %d fail / %d recover events", i, s.FailEvents, s.RecoverEvents)
+		}
+		if s.OpsIssued == 0 {
+			t.Fatalf("schedule %d issued no operations", i)
+		}
+		if a := s.Availability(); a < 0.5 || a > 1 {
+			t.Fatalf("schedule %d availability %.3f out of range", i, a)
+		}
+		if s.RepairRecoveryOps == 0 {
+			t.Fatalf("schedule %d repaired nothing — churn should damage trails", i)
+		}
+		if s.RepairRecoveryCost >= s.RebuildRecoveryCost {
+			t.Fatalf("schedule %d: incremental repair (%.1f) not cheaper than rebuild baseline (%.1f)",
+				i, s.RepairRecoveryCost, s.RebuildRecoveryCost)
+		}
+		if s.Relabels == 0 {
+			t.Fatalf("schedule %d: the de Bruijn embedding absorbed no relabels", i)
+		}
+		if got := strings.Count(s.CostTrace, "\n"); got != res.Config.Epochs {
+			t.Fatalf("schedule %d trace has %d lines, want %d", i, got, res.Config.Epochs)
+		}
+	}
+}
+
+// TestChurnRateClamped pins the 1–10% contract: rates above 10% are
+// clamped rather than honored.
+func TestChurnRateClamped(t *testing.T) {
+	res, err := RunChurn(ChurnConfig{
+		BaseSeed: 3, Size: 49, ChurnRate: 0.9,
+		Epochs: 1, OpsPerEpoch: 4, Schedules: 1, DisableRuntime: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Config.ChurnRate; got != 0.10 {
+		t.Fatalf("ChurnRate = %v after fill, want clamp to 0.10", got)
+	}
+	if want := 5; res.Schedules[0].FailEvents != want { // 10% of 49, rounded
+		t.Fatalf("FailEvents = %d, want %d", res.Schedules[0].FailEvents, want)
+	}
+}
+
+// TestChurnRuntimeReplayCountsLosses exercises the second substrate: the
+// goroutine runtime replays the same crash schedule with a static overlay,
+// so some operations must be lost — that count is the measured price of
+// not repairing incrementally.
+func TestChurnRuntimeReplayCountsLosses(t *testing.T) {
+	res, err := RunChurn(ChurnConfig{
+		BaseSeed: 11, Size: 49, Objects: 6,
+		ChurnRate: 0.08, Epochs: 3, OpsPerEpoch: 30, Schedules: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for i := range res.Schedules {
+		lost += res.Schedules[i].RunFailed
+	}
+	if lost == 0 {
+		t.Fatal("static-overlay runtime lost nothing under sustained crashes — replay is not exercising the crash path")
+	}
+}
+
+// TestScaleOracleChurnSublinear is the 10k churn scale cell (its name
+// rides the non-race `make scale` tier): one seeded schedule on the
+// sub-quadratic oracle substrate, asserting the tentpole's economics at
+// scale — incremental repair's recovery cost must be a small fraction of
+// the rebuild baseline's, because repair re-stamps O(affected trails)
+// while each rebuild pays Θ(n) to re-elect and re-publish everything.
+func TestScaleOracleChurnSublinear(t *testing.T) {
+	res, err := RunChurn(ChurnConfig{
+		BaseSeed:       13,
+		Size:           10000,
+		Objects:        40,
+		ChurnRate:      0.0004, // four victims per epoch at n=10k
+		Epochs:         2,
+		OpsPerEpoch:    6,
+		Schedules:      1,
+		DisableRuntime: true,
+		UseOracle:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &res.Schedules[0]
+	if want := 4 * res.Config.Epochs; s.FailEvents != want {
+		t.Fatalf("expected %d fail events, got %d", want, s.FailEvents)
+	}
+	if s.RepairRecoveryOps == 0 || s.RebuildRecoveryCost == 0 {
+		t.Fatalf("degenerate meters: repair %v/%d rebuild %v/%d",
+			s.RepairRecoveryCost, s.RepairRecoveryOps, s.RebuildRecoveryCost, s.RebuildRecoveryOps)
+	}
+	if ratio := s.RecoveryRatio(); ratio > 0.05 {
+		t.Fatalf("repair/rebuild recovery ratio %.4f at n=10000 — incremental repair is not sublinear (repair %.1f vs rebuild %.1f)",
+			ratio, s.RepairRecoveryCost, s.RebuildRecoveryCost)
+	}
+}
+
+// TestChurnPrint smoke-tests the human rendering.
+func TestChurnPrint(t *testing.T) {
+	res, err := RunChurn(ChurnConfig{
+		BaseSeed: 5, Size: 36, Epochs: 1, OpsPerEpoch: 6,
+		Schedules: 1, DisableRuntime: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintChurn(&sb, res)
+	outStr := sb.String()
+	for _, want := range []string{"churn tier", "schedule 0", "availability", "recovery"} {
+		if !strings.Contains(outStr, want) {
+			t.Fatalf("PrintChurn output missing %q:\n%s", want, outStr)
+		}
+	}
+}

@@ -42,6 +42,15 @@ type Config struct {
 	// RhoSamples bounds the centers probed by the doubling estimate
 	// (<= 0 means a default of 32).
 	RhoSamples int
+	// Incremental switches level selection from Luby's randomized MIS to
+	// a deterministic hash-priority greedy MIS (mis.Greedy) whose result
+	// is a pure function of (Seed, level, node). That makes the hierarchy
+	// locally repairable: Exclude/Readmit plus Repair (see repair.go)
+	// update the structure only around a failed or rejoined node, and
+	// land on the exact hierarchy a fresh BuildExcluding of the same live
+	// set would produce. Non-incremental hierarchies keep the historical
+	// Luby levels (and their golden outputs) and do not support Repair.
+	Incremental bool
 }
 
 // Hierarchy is the built HS. It implements overlay.Overlay.
@@ -60,6 +69,15 @@ type Hierarchy struct {
 	// parentSet[l][u] = parent set in V_(l+1) of u in V_l, ID-sorted.
 	parentSet []map[graph.NodeID][]graph.NodeID
 
+	// Incremental-repair state (nil/zero unless cfg.Incremental; see
+	// repair.go): levelSet[l][u] reports u ∈ V_l (level 0 tracks the
+	// live set), excluded marks failed nodes — still present in the
+	// levels[0] station space but ineligible for every MIS level and
+	// parentless — and liveN counts non-excluded nodes.
+	levelSet [][]bool
+	excluded []bool
+	liveN    int
+
 	rhoOnce sync.Once
 	rho     float64
 	sigma   int
@@ -73,13 +91,23 @@ type Hierarchy struct {
 // an exact-metric build and an oracle build of the same (g, cfg) produce
 // identical hierarchies, and an oracle build never touches an n×n table.
 func Build(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Hierarchy, error) {
+	return BuildExcluding(g, m, cfg, nil)
+}
+
+// BuildExcluding constructs HS over the live subgraph of g: the excluded
+// nodes stay in the V_0 station space (the physical network does not
+// shrink) but are ineligible for every MIS level and receive no parents,
+// so their detection paths are undefined while excluded. A non-empty
+// exclusion list requires Config.Incremental, whose deterministic greedy
+// MIS is what makes the excluded-set hierarchy a pure function of the
+// live set — the property Repair relies on.
+func BuildExcluding(g *graph.Graph, m graph.DistanceOracle, cfg Config, excluded []graph.NodeID) (*Hierarchy, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("hier: empty graph")
 	}
 	if !g.Connected() {
 		return nil, fmt.Errorf("hier: graph must be connected")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	hs := &Hierarchy{
 		g:     g,
 		m:     m,
@@ -95,7 +123,26 @@ func Build(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Hierarchy, erro
 	hs.levels = append(hs.levels, v0)
 	hs.inLevel = make([]int, g.N())
 
+	if cfg.Incremental {
+		hs.excluded = make([]bool, g.N())
+		for _, u := range excluded {
+			if int(u) < 0 || int(u) >= g.N() {
+				return nil, fmt.Errorf("hier: excluded node %d out of range", u)
+			}
+			hs.excluded[u] = true
+		}
+		if err := hs.buildIncremental(); err != nil {
+			return nil, err
+		}
+		hs.deriveSigma()
+		return hs, nil
+	}
+	if len(excluded) > 0 {
+		return nil, fmt.Errorf("hier: exclusions require Config.Incremental")
+	}
+
 	// Refine levels by MIS until a single node remains.
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	member := make([]bool, g.N()) // scratch level-membership bitmap
 	for len(hs.levels[len(hs.levels)-1]) > 1 {
 		l := len(hs.levels) - 1
@@ -129,42 +176,13 @@ func Build(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Hierarchy, erro
 		cur, up := hs.levels[l], hs.levels[l+1]
 		dp := make(map[graph.NodeID]graph.NodeID, len(cur))
 		ps := make(map[graph.NodeID][]graph.NodeID, len(cur))
-		psRadius := 4 * math.Pow(2, float64(l+1))
 		for _, p := range up {
 			member[p] = true
 		}
 		for _, u := range cur {
-			best, bestD := graph.Undefined, math.Inf(1)
-			var set []graph.NodeID
-			// MIS maximality puts the default parent within 2^(l+1), so the
-			// psRadius ball contains it; Near is exact and ID-ascending,
-			// matching the old sorted row scan over up bit for bit.
-			for _, nb := range m.Near(u, psRadius) {
-				if !member[nb.Node] {
-					continue
-				}
-				p, d := nb.Node, nb.D
-				if d < bestD || (d == bestD && p < best) {
-					best, bestD = p, d
-				}
-				set = append(set, p)
+			if err := hs.assignParentsInto(u, l, member, dp, ps); err != nil {
+				return nil, err
 			}
-			if best == graph.Undefined {
-				return nil, fmt.Errorf("hier: node %d has no level-%d parent", u, l+1)
-			}
-			dp[u] = best
-			found := false
-			for _, p := range set {
-				if p == best {
-					found = true
-					break
-				}
-			}
-			if !found {
-				set = append(set, best)
-			}
-			sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-			ps[u] = set
 		}
 		hs.defaultParent[l] = dp
 		hs.parentSet[l] = ps
@@ -172,19 +190,62 @@ func Build(g *graph.Graph, m graph.DistanceOracle, cfg Config) (*Hierarchy, erro
 			member[p] = false
 		}
 	}
+	hs.deriveSigma()
+	return hs, nil
+}
 
-	// Special-parent offset. Only the theoretical default needs the
-	// measured doubling constant; an explicit or disabled offset skips
-	// that O(n²) estimate entirely — Rho() still computes it on demand.
+// assignParentsInto computes the default parent and parent set of u in
+// V_(l+1) (the nodes flagged in member) and stores them into dp and ps,
+// replacing any previous assignment. MIS maximality puts the default
+// parent within 2^(l+1), so the 4*2^(l+1) ball contains it; Near is exact
+// and ID-ascending, matching the old sorted row scan over the upper level
+// bit for bit.
+func (hs *Hierarchy) assignParentsInto(u graph.NodeID, l int, member []bool, dp map[graph.NodeID]graph.NodeID, ps map[graph.NodeID][]graph.NodeID) error {
+	psRadius := 4 * math.Pow(2, float64(l+1))
+	best, bestD := graph.Undefined, math.Inf(1)
+	var set []graph.NodeID
+	for _, nb := range hs.m.Near(u, psRadius) {
+		if !member[nb.Node] {
+			continue
+		}
+		p, d := nb.Node, nb.D
+		if d < bestD || (d == bestD && p < best) {
+			best, bestD = p, d
+		}
+		set = append(set, p)
+	}
+	if best == graph.Undefined {
+		return fmt.Errorf("hier: node %d has no level-%d parent", u, l+1)
+	}
+	dp[u] = best
+	found := false
+	for _, p := range set {
+		if p == best {
+			found = true
+			break
+		}
+	}
+	if !found {
+		set = append(set, best)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	ps[u] = set
+	return nil
+}
+
+// deriveSigma fixes the special-parent offset. Only the theoretical
+// default needs the measured doubling constant; an explicit or disabled
+// offset skips that O(n²) estimate entirely — Rho() still computes it on
+// demand.
+func (hs *Hierarchy) deriveSigma() {
 	switch {
-	case cfg.SpecialParentOffset > 0:
-		hs.sigma = cfg.SpecialParentOffset
-	case cfg.SpecialParentOffset < 0:
+	case hs.cfg.SpecialParentOffset > 0:
+		hs.sigma = hs.cfg.SpecialParentOffset
+	case hs.cfg.SpecialParentOffset < 0:
 		hs.sigma = 0 // special parents disabled (ablation)
 	default:
 		hs.sigma = 3*int(math.Ceil(hs.Rho())) + 6
 	}
-	return hs, nil
 }
 
 // levelAdjacency returns the E_l adjacency: nodes of cur within < radius.
@@ -338,13 +399,17 @@ func (hs *Hierarchy) buildPath(u graph.NodeID) overlay.Path {
 }
 
 // Validate checks the structural invariants of HS: nested level sets, level
-// independence/maximality under the E_l adjacency, default parents within
-// 2^(l+1), parent sets within 4*2^(l+1) and containing the default parent,
-// and a single root. It returns the first violation found.
+// independence/maximality under the E_l adjacency (over the live nodes in
+// incremental mode — excluded nodes are ineligible everywhere), default
+// parents within 2^(l+1), parent sets within 4*2^(l+1) and containing the
+// default parent, and a single root. It returns the first violation found.
 func (hs *Hierarchy) Validate() error {
 	for l := 1; l <= hs.h; l++ {
 		upper := make(map[graph.NodeID]bool, len(hs.levels[l]))
 		for _, u := range hs.levels[l] {
+			if hs.isExcluded(u) {
+				return fmt.Errorf("hier: excluded node %d in level %d", u, l)
+			}
 			upper[u] = true
 		}
 		lower := make(map[graph.NodeID]bool, len(hs.levels[l-1]))
@@ -356,15 +421,22 @@ func (hs *Hierarchy) Validate() error {
 				return fmt.Errorf("hier: level %d node %d not in level %d", l, u, l-1)
 			}
 		}
+		live := hs.liveNodes(l - 1)
 		radius := math.Pow(2, float64(l))
-		adj := levelAdjacency(hs.m, hs.levels[l-1], radius, make([]bool, hs.g.N()))
-		if ok, why := mis.Verify(hs.levels[l-1], adj, hs.levels[l]); !ok {
+		adj := levelAdjacency(hs.m, live, radius, make([]bool, hs.g.N()))
+		if ok, why := mis.Verify(live, adj, hs.levels[l]); !ok {
 			return fmt.Errorf("hier: level %d: %s", l, why)
 		}
 	}
 	for l := 0; l < hs.h; l++ {
 		bound := math.Pow(2, float64(l+1))
 		for _, u := range hs.levels[l] {
+			if hs.isExcluded(u) {
+				if _, has := hs.defaultParent[l][u]; has {
+					return fmt.Errorf("hier: excluded node %d has a level-%d parent", u, l+1)
+				}
+				continue
+			}
 			dp := hs.defaultParent[l][u]
 			// Near is exact on every oracle; absence from the 4*bound ball
 			// means the distance exceeds 4*bound.
@@ -393,8 +465,8 @@ func (hs *Hierarchy) Validate() error {
 			}
 		}
 	}
-	if len(hs.levels[hs.h]) != 1 {
-		return fmt.Errorf("hier: top level has %d nodes", len(hs.levels[hs.h]))
+	if hs.liveCount(hs.h) != 1 {
+		return fmt.Errorf("hier: top level has %d live nodes", hs.liveCount(hs.h))
 	}
 	return nil
 }

@@ -1,0 +1,271 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func buildIncr(t testing.TB, g *graph.Graph, cfg Config, excluded []graph.NodeID) *Hierarchy {
+	t.Helper()
+	cfg.Incremental = true
+	hs, err := BuildExcluding(g, graph.NewMetric(g), cfg, excluded)
+	if err != nil {
+		t.Fatalf("BuildExcluding: %v", err)
+	}
+	return hs
+}
+
+func TestIncrementalBuildValidates(t *testing.T) {
+	for _, sz := range []struct{ w, h int }{{2, 5}, {4, 4}, {8, 8}} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := graph.Grid(sz.w, sz.h)
+			hs := buildIncr(t, g, Config{Seed: seed, UseParentSets: true, SpecialParentOffset: 2}, nil)
+			if err := hs.Validate(); err != nil {
+				t.Fatalf("grid %dx%d seed %d: %v", sz.w, sz.h, seed, err)
+			}
+		}
+	}
+}
+
+func TestBuildExcludingRequiresIncremental(t *testing.T) {
+	g := graph.Grid(3, 3)
+	if _, err := BuildExcluding(g, graph.NewMetric(g), Config{Seed: 1}, []graph.NodeID{2}); err == nil {
+		t.Fatal("non-incremental exclusion accepted")
+	}
+}
+
+func TestExcludeReadmitGuards(t *testing.T) {
+	g := graph.Grid(3, 3)
+	legacy := build(t, g, Config{Seed: 1})
+	if err := legacy.Exclude(1); err == nil {
+		t.Fatal("Exclude on Luby hierarchy accepted")
+	}
+	if err := legacy.Readmit(1); err == nil {
+		t.Fatal("Readmit on Luby hierarchy accepted")
+	}
+	if _, err := legacy.Repair([]graph.NodeID{1}); err == nil {
+		t.Fatal("Repair on Luby hierarchy accepted")
+	}
+
+	hs := buildIncr(t, g, Config{Seed: 1, SpecialParentOffset: 2}, nil)
+	if err := hs.Exclude(-1); err == nil {
+		t.Fatal("out-of-range Exclude accepted")
+	}
+	if err := hs.Readmit(99); err == nil {
+		t.Fatal("out-of-range Readmit accepted")
+	}
+	if _, err := hs.Repair([]graph.NodeID{99}); err == nil {
+		t.Fatal("out-of-range Repair seed accepted")
+	}
+	// Idempotent toggles.
+	if err := hs.Exclude(4); err != nil {
+		t.Fatalf("Exclude: %v", err)
+	}
+	if err := hs.Exclude(4); err != nil {
+		t.Fatalf("double Exclude: %v", err)
+	}
+	if !hs.IsExcluded(4) || hs.LiveCount() != 8 {
+		t.Fatalf("IsExcluded=%v LiveCount=%d", hs.IsExcluded(4), hs.LiveCount())
+	}
+	if err := hs.Readmit(4); err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	if err := hs.Readmit(4); err != nil {
+		t.Fatalf("double Readmit: %v", err)
+	}
+	if hs.IsExcluded(4) || hs.LiveCount() != 9 {
+		t.Fatalf("IsExcluded=%v LiveCount=%d", hs.IsExcluded(4), hs.LiveCount())
+	}
+	// Cannot exclude everything.
+	for u := 0; u < 8; u++ {
+		if err := hs.Exclude(graph.NodeID(u)); err != nil {
+			t.Fatalf("Exclude %d: %v", u, err)
+		}
+	}
+	if err := hs.Exclude(8); err == nil {
+		t.Fatal("excluding the last live node accepted")
+	}
+}
+
+// TestHierRepairMatchesRebuild is the core tentpole contract: after any
+// seeded fail/readmit sequence, Repair lands on a hierarchy
+// Fingerprint-identical to a fresh BuildExcluding of the same live set,
+// and structurally valid.
+func TestHierRepairMatchesRebuild(t *testing.T) {
+	grids := []struct{ w, h int }{{4, 4}, {7, 7}, {10, 10}}
+	for _, sz := range grids {
+		for seed := int64(1); seed <= 3; seed++ {
+			g := graph.Grid(sz.w, sz.h)
+			m := graph.NewMetric(g)
+			cfg := Config{Seed: seed, UseParentSets: true, SpecialParentOffset: 2, Incremental: true}
+			hs, err := BuildExcluding(g, m, cfg, nil)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rng := rand.New(rand.NewSource(seed * 1000))
+			excluded := make(map[graph.NodeID]bool)
+			for step := 0; step < 25; step++ {
+				var u graph.NodeID
+				if len(excluded) > 0 && rng.Intn(3) == 0 {
+					// Readmit a random excluded node.
+					k := rng.Intn(len(excluded))
+					for v := 0; v < g.N(); v++ {
+						if excluded[graph.NodeID(v)] {
+							if k == 0 {
+								u = graph.NodeID(v)
+								break
+							}
+							k--
+						}
+					}
+					delete(excluded, u)
+					if err := hs.Readmit(u); err != nil {
+						t.Fatalf("step %d Readmit(%d): %v", step, u, err)
+					}
+				} else {
+					u = graph.NodeID(rng.Intn(g.N()))
+					if excluded[u] || len(excluded) >= g.N()-2 {
+						continue
+					}
+					excluded[u] = true
+					if err := hs.Exclude(u); err != nil {
+						t.Fatalf("step %d Exclude(%d): %v", step, u, err)
+					}
+				}
+				st, err := hs.Repair([]graph.NodeID{u})
+				if err != nil {
+					t.Fatalf("step %d Repair(%d): %v", step, u, err)
+				}
+				exList := make([]graph.NodeID, 0, len(excluded))
+				for v := 0; v < g.N(); v++ {
+					if excluded[graph.NodeID(v)] {
+						exList = append(exList, graph.NodeID(v))
+					}
+				}
+				fresh, err := BuildExcluding(g, m, cfg, exList)
+				if err != nil {
+					t.Fatalf("step %d fresh build: %v", step, err)
+				}
+				if got, want := hs.Fingerprint(), fresh.Fingerprint(); got != want {
+					t.Fatalf("grid %dx%d seed %d step %d (node %d, %d excluded): repair fingerprint %x != rebuild %x\nrepaired: %+v\nfresh:    %+v",
+						sz.w, sz.h, seed, step, u, len(excluded), got, want, hs.Stats(), fresh.Stats())
+				}
+				if err := hs.Validate(); err != nil {
+					t.Fatalf("step %d validate: %v", step, err)
+				}
+				if st.Touched() == 0 && st.Affected > 0 && len(excluded) > 0 {
+					// A liveness flip always flips at least the node's own
+					// level-0 parent entry — zero touches would mean the
+					// repair silently skipped work. (Readmitting into an
+					// empty neighborhood still recomputes its parents.)
+					t.Fatalf("step %d: repair touched nothing", step)
+				}
+			}
+		}
+	}
+}
+
+// TestHierRepairBatchedSeeds repairs several simultaneous failures in one
+// call, as the facade's rebuild-threshold path does.
+func TestHierRepairBatchedSeeds(t *testing.T) {
+	g := graph.Grid(8, 8)
+	m := graph.NewMetric(g)
+	cfg := Config{Seed: 7, UseParentSets: true, SpecialParentOffset: 2, Incremental: true}
+	hs, err := BuildExcluding(g, m, cfg, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	batch := []graph.NodeID{3, 17, 17, 40, 63} // duplicate on purpose
+	for _, u := range batch {
+		if err := hs.Exclude(u); err != nil {
+			t.Fatalf("Exclude(%d): %v", u, err)
+		}
+	}
+	if _, err := hs.Repair(batch); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	fresh, err := BuildExcluding(g, m, cfg, []graph.NodeID{3, 17, 40, 63})
+	if err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	if hs.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("batched repair diverged from rebuild:\nrepaired: %+v\nfresh:    %+v", hs.Stats(), fresh.Stats())
+	}
+	if err := hs.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+// TestHierRepairShrinksToTwoNodes drives liveness down to 2 nodes and back,
+// exercising the level trim/extend paths.
+func TestHierRepairShrinksToTwoNodes(t *testing.T) {
+	g := graph.Grid(4, 4)
+	m := graph.NewMetric(g)
+	cfg := Config{Seed: 3, SpecialParentOffset: 2, Incremental: true}
+	hs, err := BuildExcluding(g, m, cfg, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for u := 2; u < 16; u++ {
+		if err := hs.Exclude(graph.NodeID(u)); err != nil {
+			t.Fatalf("Exclude(%d): %v", u, err)
+		}
+		if _, err := hs.Repair([]graph.NodeID{graph.NodeID(u)}); err != nil {
+			t.Fatalf("Repair(%d): %v", u, err)
+		}
+	}
+	if hs.LiveCount() != 2 {
+		t.Fatalf("LiveCount %d", hs.LiveCount())
+	}
+	if err := hs.Validate(); err != nil {
+		t.Fatalf("validate at 2 live: %v", err)
+	}
+	for u := 15; u >= 2; u-- {
+		if err := hs.Readmit(graph.NodeID(u)); err != nil {
+			t.Fatalf("Readmit(%d): %v", u, err)
+		}
+		if _, err := hs.Repair([]graph.NodeID{graph.NodeID(u)}); err != nil {
+			t.Fatalf("Repair(%d): %v", u, err)
+		}
+	}
+	fresh, err := BuildExcluding(g, m, cfg, nil)
+	if err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	if hs.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("full recovery diverged from pristine build:\nrepaired: %+v\nfresh:    %+v", hs.Stats(), fresh.Stats())
+	}
+}
+
+// TestHierRepairOracleMatchesExact pins that the incremental build and
+// repair see identical structure through the sub-quadratic oracle, since
+// every distance flows through exact Near.
+func TestHierRepairOracleMatchesExact(t *testing.T) {
+	g := graph.Grid(9, 9)
+	cfg := Config{Seed: 5, UseParentSets: true, SpecialParentOffset: 2, Incremental: true}
+	m := graph.NewMetric(g)
+	o := graph.NewOracle(g, graph.OracleConfig{Seed: 5})
+	he, err := BuildExcluding(g, m, cfg, nil)
+	if err != nil {
+		t.Fatalf("exact build: %v", err)
+	}
+	ho, err := BuildExcluding(g, o, cfg, nil)
+	if err != nil {
+		t.Fatalf("oracle build: %v", err)
+	}
+	for _, u := range []graph.NodeID{0, 40, 80} {
+		for _, hs := range []*Hierarchy{he, ho} {
+			if err := hs.Exclude(u); err != nil {
+				t.Fatalf("Exclude(%d): %v", u, err)
+			}
+			if _, err := hs.Repair([]graph.NodeID{u}); err != nil {
+				t.Fatalf("Repair(%d): %v", u, err)
+			}
+		}
+	}
+	if he.Fingerprint() != ho.Fingerprint() {
+		t.Fatalf("oracle repair diverged from exact:\nexact:  %+v\noracle: %+v", he.Stats(), ho.Stats())
+	}
+}

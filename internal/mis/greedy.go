@@ -1,0 +1,47 @@
+package mis
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Greedy computes the lexicographically-first maximal independent set of
+// the graph induced by nodes and adj under the order (prio(u), u): nodes
+// are visited in ascending priority (ties broken by node ID) and selected
+// whenever no already-selected neighbor exists. The result is sorted by
+// node ID.
+//
+// Unlike Luby, the greedy MIS is a pure function of the priority
+// assignment: u is selected iff no neighbor v with (prio(v), v) <
+// (prio(u), u) is selected. That characterization has a unique fixpoint,
+// which is what makes local incremental repair possible — hier.Repair
+// re-evaluates it only where eligibility changed and provably converges
+// to the same set a full rebuild would compute.
+func Greedy(nodes []graph.NodeID, adj Adjacency, prio func(graph.NodeID) uint64) []graph.NodeID {
+	order := append([]graph.NodeID(nil), nodes...)
+	sort.Slice(order, func(i, j int) bool {
+		pi, pj := prio(order[i]), prio(order[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return order[i] < order[j]
+	})
+	selected := make(map[graph.NodeID]bool, len(nodes))
+	var result []graph.NodeID
+	for _, u := range order {
+		blocked := false
+		for _, v := range adj(u) {
+			if selected[v] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			selected[u] = true
+			result = append(result, u)
+		}
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	return result
+}

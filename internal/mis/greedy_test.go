@@ -1,0 +1,63 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomAdj builds a random symmetric adjacency over n nodes.
+func randomAdj(rng *rand.Rand, n int, p float64) ([]graph.NodeID, Adjacency) {
+	nodes := make([]graph.NodeID, n)
+	nbr := make(map[graph.NodeID][]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				u, v := graph.NodeID(i), graph.NodeID(j)
+				nbr[u] = append(nbr[u], v)
+				nbr[v] = append(nbr[v], u)
+			}
+		}
+	}
+	return nodes, func(u graph.NodeID) []graph.NodeID { return nbr[u] }
+}
+
+func TestGreedyIsMaximalIndependent(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodes, adj := randomAdj(rng, 40, 0.15)
+		prio := func(u graph.NodeID) uint64 { return uint64(u*u) % 17 } // collisions on purpose
+		set := Greedy(nodes, adj, prio)
+		if ok, why := Verify(nodes, adj, set); !ok {
+			t.Fatalf("seed %d: %s", seed, why)
+		}
+		again := Greedy(nodes, adj, prio)
+		if len(again) != len(set) {
+			t.Fatalf("seed %d: non-deterministic size %d vs %d", seed, len(again), len(set))
+		}
+		for i := range set {
+			if set[i] != again[i] {
+				t.Fatalf("seed %d: non-deterministic member %d vs %d", seed, set[i], again[i])
+			}
+			if i > 0 && set[i-1] >= set[i] {
+				t.Fatalf("seed %d: result not ID-sorted", seed)
+			}
+		}
+	}
+}
+
+func TestGreedyLowestPriorityAlwaysIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nodes, adj := randomAdj(rng, 30, 0.2)
+	prio := func(u graph.NodeID) uint64 { return uint64(100 + u) }
+	set := Greedy(nodes, adj, prio)
+	if len(set) == 0 || set[0] != nodes[0] {
+		// Node 0 has the strictly lowest (prio, id) pair, so nothing can
+		// block it from the greedy MIS.
+		t.Fatalf("lowest-priority node missing from %v", set)
+	}
+}

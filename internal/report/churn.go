@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// MarkdownChurn renders the churn tier outcome as a Markdown table, one
+// row per seeded schedule. The recovery ratio column is the tentpole's
+// headline number: incremental repair's metered recovery traffic over the
+// rebuild-from-scratch baseline's on the identical schedule.
+func MarkdownChurn(w io.Writer, res *experiments.ChurnResult) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| schedule | seed | fail events | availability | cost ratio | repair cost | repair ops | rebuild cost | rebuild ops | recovery ratio | relabels | runtime lost |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for i := range res.Schedules {
+		s := &res.Schedules[i]
+		fmt.Fprintf(&b, "| %d | %d | %d | %.3f | %.3f | %.1f | %d | %.1f | %d | %.3f | %d | %d |\n",
+			s.Index, s.Seed, s.FailEvents,
+			s.Availability(), s.CostRatio(),
+			s.RepairRecoveryCost, s.RepairRecoveryOps,
+			s.RebuildRecoveryCost, s.RebuildRecoveryOps,
+			s.RecoveryRatio(), s.Relabels, s.RunFailed)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSVChurn writes the churn tier outcome as CSV, one row per schedule.
+func CSVChurn(w io.Writer, res *experiments.ChurnResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"schedule", "seed", "fail_events", "recover_events",
+		"ops_issued", "ops_masked", "availability", "cost_ratio",
+		"repair_cost", "repair_ops", "rebuild_cost", "rebuild_ops",
+		"recovery_ratio", "relabels", "run_failed",
+	}); err != nil {
+		return err
+	}
+	for i := range res.Schedules {
+		s := &res.Schedules[i]
+		if err := cw.Write([]string{
+			strconv.Itoa(s.Index),
+			strconv.FormatInt(s.Seed, 10),
+			strconv.Itoa(s.FailEvents),
+			strconv.Itoa(s.RecoverEvents),
+			strconv.Itoa(s.OpsIssued),
+			strconv.Itoa(s.OpsMasked),
+			fmt.Sprintf("%.4f", s.Availability()),
+			fmt.Sprintf("%.4f", s.CostRatio()),
+			fmt.Sprintf("%.2f", s.RepairRecoveryCost),
+			strconv.Itoa(s.RepairRecoveryOps),
+			fmt.Sprintf("%.2f", s.RebuildRecoveryCost),
+			strconv.Itoa(s.RebuildRecoveryOps),
+			fmt.Sprintf("%.4f", s.RecoveryRatio()),
+			strconv.Itoa(s.Relabels),
+			strconv.Itoa(s.RunFailed),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

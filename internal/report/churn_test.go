@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func sampleChurn() *experiments.ChurnResult {
+	return &experiments.ChurnResult{
+		Config: experiments.ChurnConfig{Schedules: 2, Size: 64},
+		Schedules: []experiments.ChurnSchedule{
+			{
+				Index: 0, Seed: 19,
+				FailEvents: 3, RecoverEvents: 3,
+				OpsIssued: 18, OpsMasked: 6,
+				Relabels:           12,
+				RepairRecoveryCost: 40.5, RepairRecoveryOps: 9,
+				RebuildRecoveryCost: 162.0, RebuildRecoveryOps: 30,
+				ChurnOpCost: 75.0, SteadyOpCost: 60.0,
+				RunFailed: 2,
+			},
+			{Index: 1, Seed: 23},
+		},
+	}
+}
+
+func TestMarkdownChurn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownChurn(&buf, sampleChurn()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| recovery ratio |") || !strings.Contains(out, "| availability |") {
+		t.Fatalf("header missing columns:\n%s", out)
+	}
+	// availability 18/24, cost ratio 75/60, recovery ratio 40.5/162.
+	if !strings.Contains(out, "| 0 | 19 | 3 | 0.750 | 1.250 | 40.5 | 9 | 162.0 | 30 | 0.250 | 12 | 2 |") {
+		t.Fatalf("schedule row wrong:\n%s", out)
+	}
+	// Degenerate schedule: both ratios default to 1.
+	if !strings.Contains(out, "| 1 | 23 | 0 | 1.000 | 1.000 |") {
+		t.Fatalf("empty schedule row wrong:\n%s", out)
+	}
+}
+
+func TestCSVChurnParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVChurn(&buf, sampleChurn()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][6] != "availability" || recs[0][12] != "recovery_ratio" {
+		t.Fatalf("header: %v", recs[0])
+	}
+	if recs[1][6] != "0.7500" || recs[1][8] != "40.50" || recs[1][12] != "0.2500" {
+		t.Fatalf("row: %v", recs[1])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/lb"
@@ -43,6 +44,14 @@ type Options struct {
 	CountLBRouteCost bool
 	// CountReply adds the result-return message to query costs.
 	CountReply bool
+	// IncrementalRepair keeps the HS hierarchy live under churn: FailNode
+	// excludes the sensor and re-elects the surrounding overlay locally
+	// (hier.Repair) instead of waiting for RecoverNode, then re-stamps
+	// only the trails the event broke, so tracking stays available while
+	// nodes are down. Past ChurnThreshold the coarse §7 fallback still
+	// rebuilds from scratch. Requires the HS overlay: it conflicts with
+	// GeneralOverlay and with LoadBalance placement.
+	IncrementalRepair bool
 	// Chaos enables deterministic fault injection. On a Distributed
 	// tracker it installs drop/delay faults on every message (crashes are
 	// driven explicitly via Crash/Recover); on the sequential Tracker,
@@ -62,15 +71,20 @@ type Options struct {
 // every operation's communication cost.
 type Tracker struct {
 	g   *Graph
-	m   *Metric
+	m   *Metric // exact metric when built through NewTracker[WithMetric], else nil
+	dm  graph.DistanceOracle
 	ov  overlay.Overlay
 	dir *core.Directory
 
-	// opt and cfg are retained for the §7 rebuild fallback (chaos.go).
+	// eng is the §7 incremental churn engine under
+	// Options.IncrementalRepair (it owns ov and dir then); nil otherwise.
+	eng *dynamics.Engine
+
+	// opt and cfg are retained for the §7 rebuild fallback (dynamics.go).
 	opt Options
 	cfg core.Config
 
-	// chaosMu guards the fault-recovery bookkeeping in chaos.go.
+	// chaosMu guards the fault-recovery bookkeeping in dynamics.go.
 	chaosMu sync.Mutex
 	failed  map[NodeID]bool
 	damaged map[ObjectID]bool
@@ -87,40 +101,78 @@ func NewTracker(g *Graph, opt Options) (*Tracker, error) {
 // NewTrackerWithMetric is NewTracker reusing an existing metric oracle
 // (useful when several trackers share one network).
 func NewTrackerWithMetric(g *Graph, m *Metric, opt Options) (*Tracker, error) {
-	var ov overlay.Overlay
-	if opt.GeneralOverlay {
-		hs, err := partition.Build(g, m, partition.Config{SpecialParentOffset: opt.SpecialParentOffset})
-		if err != nil {
-			return nil, fmt.Errorf("mot: building sparse-partition overlay: %w", err)
-		}
-		ov = hs
-	} else {
-		hs, err := hier.Build(g, m, hier.Config{
-			Seed:                opt.Seed,
-			UseParentSets:       opt.UseParentSets,
-			SpecialParentOffset: opt.SpecialParentOffset,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("mot: building HS overlay: %w", err)
-		}
-		ov = hs
+	t, err := NewTrackerWithOracle(g, m, opt)
+	if err != nil {
+		return nil, err
 	}
+	t.m = m
+	return t, nil
+}
+
+// hierConfig maps the facade options onto the HS overlay configuration.
+func hierConfig(opt Options) hier.Config {
+	return hier.Config{
+		Seed:                opt.Seed,
+		UseParentSets:       opt.UseParentSets,
+		SpecialParentOffset: opt.SpecialParentOffset,
+		Incremental:         opt.IncrementalRepair,
+	}
+}
+
+// NewTrackerWithOracle builds the tracker over any routing-grade distance
+// oracle — e.g. graph.NewOracle's sub-quadratic substrate for networks
+// where the O(n²) exact metric is unaffordable. Metric() returns nil on
+// such trackers; everything else behaves identically.
+func NewTrackerWithOracle(g *Graph, dm graph.DistanceOracle, opt Options) (*Tracker, error) {
 	cfg := core.Config{
 		CountSpecialParentCost: opt.CountSpecialParentCost,
 		CountLBRouteCost:       opt.CountLBRouteCost,
 		CountReply:             opt.CountReply,
 		Obs:                    opt.Obs,
 	}
+	if opt.IncrementalRepair {
+		if opt.GeneralOverlay {
+			return nil, fmt.Errorf("mot: IncrementalRepair requires the HS overlay; it conflicts with GeneralOverlay")
+		}
+		if opt.LoadBalance {
+			return nil, fmt.Errorf("mot: IncrementalRepair does not compose with LoadBalance placement")
+		}
+		ecfg := dynamics.Config{Hier: hierConfig(opt), Core: cfg}
+		if opt.Chaos != nil {
+			ecfg.ChurnThreshold = opt.Chaos.ChurnThreshold
+			ecfg.RebuildEachEvent = opt.Chaos.RebuildEachEvent
+		}
+		eng, err := dynamics.New(g, dm, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("mot: building HS overlay: %w", err)
+		}
+		return &Tracker{g: g, dm: dm, ov: eng.Overlay(), eng: eng, dir: eng.Directory(), opt: opt, cfg: cfg}, nil
+	}
+	var ov overlay.Overlay
+	if opt.GeneralOverlay {
+		hs, err := partition.Build(g, dm, partition.Config{SpecialParentOffset: opt.SpecialParentOffset})
+		if err != nil {
+			return nil, fmt.Errorf("mot: building sparse-partition overlay: %w", err)
+		}
+		ov = hs
+	} else {
+		hs, err := hier.BuildExcluding(g, dm, hierConfig(opt), nil)
+		if err != nil {
+			return nil, fmt.Errorf("mot: building HS overlay: %w", err)
+		}
+		ov = hs
+	}
 	if opt.LoadBalance {
 		cfg.Placement = lb.New(ov)
 	}
-	return &Tracker{g: g, m: m, ov: ov, dir: core.New(ov, cfg), opt: opt, cfg: cfg}, nil
+	return &Tracker{g: g, dm: dm, ov: ov, dir: core.New(ov, cfg), opt: opt, cfg: cfg}, nil
 }
 
 // Graph returns the underlying network.
 func (t *Tracker) Graph() *Graph { return t.g }
 
-// Metric returns the shortest-path oracle.
+// Metric returns the exact shortest-path oracle, or nil when the tracker
+// was built over an approximate substrate via NewTrackerWithOracle.
 func (t *Tracker) Metric() *Metric { return t.m }
 
 // Publish introduces object o at sensor node at; each object is published
