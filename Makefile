@@ -30,9 +30,17 @@
 #   make bench-json — the perf-trajectory suite (frozen vs lazy metric
 #                  reads, all-pairs precompute, substrate-cache on/off
 #                  sweep throughput, oracle build/read vs exact, a 10k
-#                  oracle scale cell, and a churn cell with the
-#                  repair-vs-rebuild ratio) written to BENCH_08.json; CI
+#                  oracle scale cell, a churn cell with the
+#                  repair-vs-rebuild ratio, and the live-telemetry
+#                  overhead pins: nil-sink allocs and runtime ops with
+#                  live on vs off) written to BENCH_09.json; CI
 #                  uploads the file as an artifact
+#   make bench-gate — the CI regression gate: re-measure the suite into
+#                  BENCH_current.json (never committed) and diff it
+#                  against the committed BENCH_09.json baseline with
+#                  cmd/benchdiff — >15% ns/op growth or any allocs/op
+#                  growth on a pinned benchmark fails; benchdiff.md
+#                  holds the delta table CI uploads
 #
 # The -race and chaos tiers are intentionally short: they run only the
 # tests that exercise real concurrency and fault injection in the packages
@@ -53,7 +61,7 @@ CHURN_RUN  = 'TestChurn|TestGoldenChurn|TestStaleObjects|TestHierRepair|TestExcl
 # above; raise the floor as coverage grows, never lower it to pass).
 COVER_MIN = 79
 
-.PHONY: check fmt vet build test race chaos churn scale lint cover bench bench-json
+.PHONY: check fmt vet build test race chaos churn scale lint cover bench bench-json bench-gate
 
 check: fmt vet build test race chaos churn scale bench lint
 
@@ -100,4 +108,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 bench-json:
-	$(GO) run ./cmd/motsim -benchjson BENCH_08.json
+	$(GO) run ./cmd/motsim -benchjson BENCH_09.json
+
+bench-gate:
+	$(GO) run ./cmd/motsim -benchjson BENCH_current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_09.json -current BENCH_current.json -md benchdiff.md

@@ -48,6 +48,13 @@
 // Artifacts are byte-identical for a given (-obs-size, -obs-seed) at any
 // -workers value; the §5 per-node load report prints to stdout. Without
 // any obs or chaos flag, motsim's figure output is unchanged.
+// -live-summary attaches a live wall-clock recorder to the sweep's
+// runtime run and prints p50/p99 tail latencies per op class to stderr
+// at exit; stdout and every artifact file keep their exact
+// deterministic bytes:
+//
+//	motsim -live-summary                       # stderr-only latency recap
+//	motsim -trace out.jsonl -live-summary      # artifacts unchanged
 //
 // -benchjson runs the perf-trajectory benchmark suite instead of a
 // figure and writes a JSON report (frozen vs lazy metric reads,
@@ -87,12 +94,15 @@ import (
 // sequential core with load balancing on and off, the discrete-event
 // simulator, and the goroutine runtime) and writes the requested
 // artifacts. All three formats are byte-deterministic for a given
-// (size, seed) at any -workers value.
-func runObs(trace, metrics, chrome string, size int, seed int64, workers int) {
+// (size, seed) at any -workers value; -live-summary only adds stderr
+// chatter (wall-clock p50/p99 per op class from the live recorder) and
+// leaves every stdout/file byte unchanged.
+func runObs(trace, metrics, chrome string, size int, seed int64, workers int, liveSummary bool) {
 	res, err := experiments.RunObs(experiments.ObsConfig{
-		BaseSeed: seed,
-		Size:     size,
-		Workers:  workers,
+		BaseSeed:      seed,
+		Size:          size,
+		Workers:       workers,
+		LiveTelemetry: liveSummary,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "motsim: obs: %v\n", err)
@@ -120,6 +130,18 @@ func runObs(trace, metrics, chrome string, size int, seed int64, workers int) {
 	emit(trace, res.WriteTraceJSONL)
 	emit(metrics, res.WriteMetricsCSV)
 	emit(chrome, res.WriteChromeTrace)
+	if liveSummary {
+		// Wall-clock tail latencies are diagnostics, not measurements:
+		// they print to stderr only, and the live recorders are dropped
+		// before rendering so the stdout report keeps its exact live-off
+		// layout (byte-identical to a run without -live-summary).
+		for _, lrec := range res.Live {
+			if lrec != nil {
+				lrec.WriteSummary(os.Stderr)
+			}
+		}
+		res.Live = nil
+	}
 	// The per-node load report (§5: balanced vs unbalanced placement)
 	// goes to stdout so the run leaves a human-readable headline.
 	if err := report.MarkdownObsLoad(os.Stdout, res, 0); err != nil {
@@ -273,6 +295,7 @@ func main() {
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	obsSize := flag.Int("obs-size", 256, "sensor count of the observability sweep (16x16 grid by default)")
 	obsSeed := flag.Int64("obs-seed", 0, "base seed of the observability sweep")
+	liveSummary := flag.Bool("live-summary", false, "attach a live wall-clock recorder to the obs sweep's runtime run and print p50/p99 per op class to stderr (stdout stays deterministic)")
 	benchJSON := flag.String("benchjson", "", "run the substrate/harness benchmark suite and write BENCH_08-style JSON to this file")
 	oracle := flag.Bool("oracle", false, "run the large-network scale sweep (sub-quadratic distance oracle) instead of a figure")
 	nodes := flag.String("nodes", "", "comma-separated node counts of the -oracle sweep (default 10000)")
@@ -298,8 +321,8 @@ func main() {
 		runChurn(*churnSpec, *workers, *format)
 		return
 	}
-	if *trace != "" || *metrics != "" || *chrome != "" {
-		runObs(*trace, *metrics, *chrome, *obsSize, *obsSeed, *workers)
+	if *trace != "" || *metrics != "" || *chrome != "" || *liveSummary {
+		runObs(*trace, *metrics, *chrome, *obsSize, *obsSeed, *workers, *liveSummary)
 		return
 	}
 

@@ -1,7 +1,10 @@
 // Package bench runs the substrate and harness benchmark suite behind
 // `make bench-json` / `motsim -benchjson` and renders it as a
-// machine-readable JSON artifact (BENCH_08.json) so CI can track the
-// perf trajectory release over release.
+// machine-readable JSON artifact (BENCH_09.json) so CI can track the
+// perf trajectory release over release. Rows marked Pinned are enforced
+// by the regression gate (internal/bench/diff behind `make bench-gate`):
+// >15% ns/op growth or any allocs/op growth against the committed
+// baseline fails CI.
 //
 // The suite pins the claims the frozen-metric work makes: the frozen
 // Dist path is allocation-free and much cheaper than the lazy
@@ -14,7 +17,11 @@
 // reads stay cheap, and a full 10k-node oracle-mode scale cell runs at
 // a usable cells/sec without ever freezing an n×n table — and the PR-8
 // churn claim: sustained-churn schedule cells/sec with the incremental
-// repair engine's recovery cost a small ratio of the rebuild baseline's.
+// repair engine's recovery cost a small ratio of the rebuild baseline's
+// — and the PR-9 live-telemetry overhead contract: live/nil-sink pins
+// the disabled fast path at 0 allocs/op, and runtime/ops-live-on vs
+// -off pins enabled overhead ≤10% ns/op on a runtime Move+Query round
+// trip (the measured gap rides along as overhead_pct).
 package bench
 
 import (
@@ -26,16 +33,24 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/obs/live"
+	motruntime "repro/internal/runtime"
 )
 
 // Result is one benchmark's outcome in flat, diff-friendly units.
 type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Pinned marks the benchmarks the CI regression gate (cmd/benchdiff,
+	// `make bench-gate`) enforces: >15% ns/op or any allocs/op growth
+	// against the committed BENCH_*.json baseline fails the build.
+	// Unpinned rows are tracked for the trajectory but tolerated.
+	Pinned bool               `json:"pinned,omitempty"`
+	Extra  map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the full artifact. Schema names the layout so downstream
@@ -50,6 +65,21 @@ type Report struct {
 
 // sink defeats dead-code elimination in the measurement loops.
 var sink float64
+
+// best reruns measure and keeps the fastest trial. Pinned contract rows
+// feed the CI regression gate, where a single sample of a sub-10ns loop
+// can swing 30%+ on scheduler or frequency jitter alone; the minimum of
+// a few trials converges on the true cost of the code, which is what
+// the gate's 15% tolerance is meant to police.
+func best(trials int, measure func() Result) Result {
+	res := measure()
+	for i := 1; i < trials; i++ {
+		if r := measure(); r.NsPerOp < res.NsPerOp {
+			res = r
+		}
+	}
+	return res
+}
 
 func toResult(name string, r testing.BenchmarkResult, extra map[string]float64) Result {
 	return Result{
@@ -77,7 +107,9 @@ func distFrozen() Result {
 		}
 		sink = acc
 	})
-	return toResult("metric/dist-frozen", r, nil)
+	res := toResult("metric/dist-frozen", r, nil)
+	res.Pinned = true
+	return res
 }
 
 // distLazy measures the pre-freeze RWMutex+map path for comparison; it
@@ -193,7 +225,9 @@ func oracleDist() Result {
 		}
 		sink = acc
 	})
-	return toResult("oracle/dist-1024", r, map[string]float64{"stretch": o.Stretch()})
+	res := toResult("oracle/dist-1024", r, map[string]float64{"stretch": o.Stretch()})
+	res.Pinned = true
+	return res
 }
 
 // scaleCell measures one full 10k-node oracle-mode scale cell (oracle +
@@ -254,16 +288,79 @@ func churnCell() Result {
 	})
 }
 
+// liveNilSink measures the disabled live-telemetry fast path in
+// isolation: a Start/Observe pair on a nil *Recorder. The pin is the
+// PR-9 overhead contract's first half — live-off must stay a pointer
+// test, 0 allocs/op.
+func liveNilSink() Result {
+	var rec *live.Recorder
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := rec.Start()
+			rec.Observe(live.ClassMove, st, i, nil)
+		}
+	})
+	res := toResult("live/nil-sink", r, nil)
+	res.Pinned = true
+	return res
+}
+
+// runtimeOps measures one Move+Query round trip on the goroutine
+// runtime over an 8×8 grid, with live telemetry off (nil sink) or on —
+// the second half of the overhead contract: live-on must stay within
+// 10% ns/op of live-off. Run() stamps the measured overhead_pct onto
+// the live-on row.
+func runtimeOps(name string, lrec *live.Recorder) Result {
+	g := graph.Grid(8, 8)
+	m := graph.NewMetric(g)
+	hs, err := hier.Build(g, m, hier.Config{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	tr := motruntime.NewLive(g, hs, nil, nil, lrec)
+	defer tr.Stop()
+	if err := tr.Publish(1, 0); err != nil {
+		panic(err)
+	}
+	n := g.N()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tr.Move(1, graph.NodeID(1+i%(n-2))); err != nil {
+				panic(err)
+			}
+			if _, _, err := tr.Query(graph.NodeID(n-1), 1); err != nil {
+				panic(err)
+			}
+		}
+	})
+	res := toResult(name, r, nil)
+	res.Pinned = true
+	return res
+}
+
 // Run executes the whole suite. It takes a few seconds.
 func Run() *Report {
 	benchmarks := []Result{
-		distFrozen(),
+		best(5, distFrozen),
 		distLazy(),
 		precompute(),
 		sweep("sweep/256-cache-on", false),
 		sweep("sweep/256-cache-off", true),
-		oracleDist(),
+		best(5, oracleDist),
+		best(5, liveNilSink),
 	}
+	off := best(5, func() Result { return runtimeOps("runtime/ops-live-off", nil) })
+	on := best(5, func() Result {
+		return runtimeOps("runtime/ops-live-on", live.New("bench", live.Config{}))
+	})
+	if off.NsPerOp > 0 {
+		on.Extra = map[string]float64{
+			"overhead_pct": 100 * (on.NsPerOp/off.NsPerOp - 1),
+		}
+	}
+	benchmarks = append(benchmarks, off, on)
 	benchmarks = append(benchmarks, oracleBuild(1024, true)...)
 	benchmarks = append(benchmarks, oracleBuild(10000, false)...)
 	benchmarks = append(benchmarks, scaleCell(), churnCell())

@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/mobility"
+	"repro/internal/obs/live"
 	motruntime "repro/internal/runtime"
 	"repro/internal/runtime/track"
 )
@@ -70,6 +71,12 @@ type ChurnConfig struct {
 	// metric instead of sharing the substrate cache. The churn engines
 	// always build private hierarchies — they mutate them.
 	DisableSubstrateCache bool
+	// LiveTelemetry attaches a wall-clock live recorder to each
+	// schedule's goroutine-runtime replay (no effect with
+	// DisableRuntime) and stores the final snapshot on the schedule.
+	// Diagnostics only: CostTrace and every deterministic artifact stay
+	// byte-identical to a live-off run.
+	LiveTelemetry bool
 }
 
 func (c *ChurnConfig) fill() {
@@ -128,6 +135,12 @@ type ChurnSchedule struct {
 	// lost to *chaos.DeliveryError under the same schedule. 0 when the
 	// runtime replay is disabled.
 	RunFailed int
+
+	// Live is the runtime replay's wall-clock latency snapshot (nil
+	// unless ChurnConfig.LiveTelemetry; excluded from CostTrace and all
+	// golden artifacts — report renderers add latency columns from it
+	// only when present).
+	Live *live.Snapshot
 
 	// CostTrace is the golden byte representation of the schedule: one
 	// line per epoch with the victims, availability counts, and meters.
@@ -414,11 +427,19 @@ func runChurnSchedule(cfg ChurnConfig, idx int) (ChurnSchedule, error) {
 	out.CostTrace = trace.String()
 
 	if !cfg.DisableRuntime {
-		failedOps, err := replayChurnOnRuntime(g, steadyHS, initial, events)
+		var lrec *live.Recorder
+		if cfg.LiveTelemetry {
+			lrec = live.New(fmt.Sprintf("churn-%d", out.Index), live.Config{Seed: out.Seed})
+		}
+		failedOps, err := replayChurnOnRuntime(g, steadyHS, initial, events, lrec)
 		if err != nil {
 			return out, err
 		}
 		out.RunFailed = failedOps
+		if lrec != nil {
+			snap := lrec.Snapshot()
+			out.Live = &snap
+		}
 	}
 	return out, nil
 }
@@ -444,9 +465,9 @@ func issueOp(dir *core.Directory, op churnOp) error {
 // Every failed operation counts as lost: the total is the measured price
 // of not repairing. The pre-churn publishes run before any crash and must
 // succeed.
-func replayChurnOnRuntime(g *graph.Graph, hs *hier.Hierarchy, locs []graph.NodeID, events []churnOp) (int, error) {
+func replayChurnOnRuntime(g *graph.Graph, hs *hier.Hierarchy, locs []graph.NodeID, events []churnOp, lrec *live.Recorder) (int, error) {
 	inj := chaos.NewInjector(chaos.Config{Seed: 1, MaxAttempts: 4}, g.N())
-	tr := motruntime.NewChaos(g, hs, inj)
+	tr := motruntime.NewLive(g, hs, inj, nil, lrec)
 	defer tr.Stop()
 	failedOps := 0
 	for o, at := range locs {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/lb"
 	"repro/internal/mobility"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	motruntime "repro/internal/runtime"
 	"repro/internal/runtime/track"
 	"repro/internal/sim"
@@ -49,6 +50,13 @@ type ObsConfig struct {
 	// DisableSubstrateCache makes every run rebuild its own grid, metric,
 	// and hierarchy instead of sharing the substrate cache.
 	DisableSubstrateCache bool
+	// LiveTelemetry attaches a wall-clock live recorder to the runtime
+	// run (the only substrate with real per-op wall time). The live
+	// layer is additive: it populates ObsResult.Live for diagnostics
+	// (`motsim -live-summary`, latency report columns) and never touches
+	// the deterministic recorders, so every Write* artifact stays
+	// byte-identical to a live-off run.
+	LiveTelemetry bool
 }
 
 func (c *ObsConfig) fill() {
@@ -66,6 +74,11 @@ type ObsResult struct {
 	Config    ObsConfig
 	Seed      int64
 	Recorders []*obs.Recorder
+	// Live holds each run's wall-clock recorder, aligned with Recorders
+	// (nil entries for runs without one; all nil unless
+	// Config.LiveTelemetry). Non-deterministic by nature — summaries and
+	// report latency columns only, never the Write* artifacts.
+	Live []*live.Recorder
 }
 
 // WriteTraceJSONL writes every run's spans as sorted JSON lines.
@@ -93,6 +106,28 @@ func (r *ObsResult) Recorder(name string) *obs.Recorder {
 	return nil
 }
 
+// LiveFor returns the named run's live wall-clock recorder, or nil when
+// the run has none (live telemetry off, or a substrate it never
+// attaches to).
+func (r *ObsResult) LiveFor(name string) *live.Recorder {
+	for i, rec := range r.Recorders {
+		if rec.Label() == name && i < len(r.Live) {
+			return r.Live[i]
+		}
+	}
+	return nil
+}
+
+// HasLive reports whether any run carries a live recorder.
+func (r *ObsResult) HasLive() bool {
+	for _, lrec := range r.Live {
+		if lrec != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // RunObs traces one seeded workload on every substrate and returns the
 // recorders in ObsRuns order. Runs execute on cfg.Workers goroutines;
 // each run only ever touches its own recorder, so scheduling cannot leak
@@ -100,7 +135,12 @@ func (r *ObsResult) Recorder(name string) *obs.Recorder {
 func RunObs(cfg ObsConfig) (*ObsResult, error) {
 	cfg.fill()
 	seed := mobility.StreamSeed(cfg.BaseSeed, cfg.Size, 0)
-	res := &ObsResult{Config: cfg, Seed: seed, Recorders: make([]*obs.Recorder, len(ObsRuns))}
+	res := &ObsResult{
+		Config:    cfg,
+		Seed:      seed,
+		Recorders: make([]*obs.Recorder, len(ObsRuns)),
+		Live:      make([]*live.Recorder, len(ObsRuns)),
+	}
 	errs := make([]error, len(ObsRuns))
 	workers := cfg.Workers
 	if workers > len(ObsRuns) {
@@ -115,13 +155,14 @@ func RunObs(cfg ObsConfig) (*ObsResult, error) {
 				if failed.Load() {
 					continue
 				}
-				rec, err := runObsOne(cfg, ObsRuns[ri], seed)
+				rec, lrec, err := runObsOne(cfg, ObsRuns[ri], seed)
 				if err != nil {
 					errs[ri] = fmt.Errorf("experiments: obs run %s: %w", ObsRuns[ri], err)
 					failed.Store(true)
 					continue
 				}
 				res.Recorders[ri] = rec
+				res.Live[ri] = lrec
 			}
 		})
 	}
@@ -143,7 +184,7 @@ func RunObs(cfg ObsConfig) (*ObsResult, error) {
 // substrate cache (all four runs use the same seed, so they share one
 // hierarchy); each run still derives its own workload and recorder from
 // seed, so it is fully reproducible in isolation.
-func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, error) {
+func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, *live.Recorder, error) {
 	g, m := gridSubstrate(cfg.Size, cfg.DisableSubstrateCache)
 	w, err := mobility.Generate(g, m, mobility.Config{
 		Objects:        cfg.Objects,
@@ -152,13 +193,14 @@ func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, error) {
 		Seed:           seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hs, err := hierSubstrate(cfg.Size, g, m, hier.Config{Seed: seed, SpecialParentOffset: 2}, cfg.DisableSubstrateCache)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec := obs.New(name)
+	var lrec *live.Recorder
 	switch name {
 	case ObsRunCoreLB, ObsRunCoreNoLB:
 		dcfg := core.Config{Obs: rec}
@@ -167,32 +209,35 @@ func runObsOne(cfg ObsConfig, name string, seed int64) (*obs.Recorder, error) {
 		}
 		d := core.New(hs, dcfg)
 		if err := replayCore(d, w); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		d.ObserveLoad(g.N())
 	case ObsRunSim:
 		eng := sim.NewEngine(0)
 		ms, err := sim.NewMOT(hs, eng, sim.Config{PeriodSync: true, Obs: rec})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := sim.Schedule(ms, w, sim.DriverConfig{Diameter: m.Diameter(), Seed: seed}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := eng.Run(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	case ObsRunRuntime:
-		tr := motruntime.NewInstrumented(g, hs, nil, rec)
+		if cfg.LiveTelemetry {
+			lrec = live.New(name, live.Config{Seed: seed})
+		}
+		tr := motruntime.NewLive(g, hs, nil, rec, lrec)
 		defer tr.Stop()
 		if err := replayRuntime(tr, w); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tr.ObserveLoad()
 	default:
-		return nil, fmt.Errorf("unknown run %q", name)
+		return nil, nil, fmt.Errorf("unknown run %q", name)
 	}
-	return rec, nil
+	return rec, lrec, nil
 }
 
 // replayCore drives the workload through a sequential directory.

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs/live"
+)
+
+// TestObsLiveTelemetryAdditive pins the two-layer contract at the sweep
+// level: turning LiveTelemetry on attaches a wall-clock recorder to the
+// runtime run only, and every deterministic artifact stays byte-identical
+// to the live-off run on the same config.
+func TestObsLiveTelemetryAdditive(t *testing.T) {
+	cfg := ObsConfig{Size: 64, Objects: 6, MovesPerObject: 20, Queries: 15, BaseSeed: 7}
+
+	offRes, err := RunObs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LiveTelemetry = true
+	onRes, err := RunObs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offTrace, offMetrics := obsArtifacts(t, offRes)
+	onTrace, onMetrics := obsArtifacts(t, onRes)
+	if offTrace != onTrace {
+		dumpGoldenDiff(t, "live-trace", offTrace, onTrace)
+		t.Error("trace JSONL differs between live-off and live-on")
+	}
+	if offMetrics != onMetrics {
+		dumpGoldenDiff(t, "live-metrics", offMetrics, onMetrics)
+		t.Error("metrics CSV differs between live-off and live-on")
+	}
+
+	if offRes.HasLive() {
+		t.Error("live-off sweep reports HasLive")
+	}
+	if !onRes.HasLive() {
+		t.Fatal("live-on sweep has no live recorder")
+	}
+	// Only the runtime run carries a recorder; the core and sim runs are
+	// logically clocked and must stay live-free.
+	for _, name := range ObsRuns {
+		lrec := onRes.LiveFor(name)
+		if name == ObsRunRuntime {
+			if lrec == nil {
+				t.Fatalf("runtime run missing its live recorder")
+			}
+			continue
+		}
+		if lrec != nil {
+			t.Errorf("run %s unexpectedly carries a live recorder", name)
+		}
+	}
+
+	// The recorder saw every runtime op: 6 publishes + 6*20 moves +
+	// 15 queries, each with a positive wall-clock duration, and the
+	// reservoir stayed within its configured bound.
+	snap := onRes.LiveFor(ObsRunRuntime).Snapshot()
+	wantOps := int64(6 + 6*20 + 15)
+	if snap.Total.Count != wantOps {
+		t.Errorf("live op count = %d, want %d", snap.Total.Count, wantOps)
+	}
+	if snap.Total.Errors != 0 {
+		t.Errorf("live error count = %d, want 0", snap.Total.Errors)
+	}
+	if snap.Total.MaxNs <= 0 {
+		t.Errorf("live max latency = %dns, want > 0", snap.Total.MaxNs)
+	}
+	if snap.SamplesSeen != wantOps {
+		t.Errorf("reservoir saw %d, want %d", snap.SamplesSeen, wantOps)
+	}
+	if snap.SamplesKept > live.DefaultSampleSize {
+		t.Errorf("reservoir kept %d samples, cap is %d", snap.SamplesKept, live.DefaultSampleSize)
+	}
+}

@@ -113,7 +113,11 @@ func Default() Config {
 	return Config{
 		ModulePath:        "repro",
 		GlobalRandAllowed: []string{"repro/internal/mobility"},
-		WallTimeAllowed:   nil,
+		// internal/obs/live is the wall-clock half of the two-layer obs
+		// contract (DESIGN.md "Live telemetry"): the one library package
+		// whose whole point is reading the machine clock. Everything it
+		// measures stays in diagnostics channels, never measured output.
+		WallTimeAllowed:   []string{"repro/internal/obs/live"},
 		BareGoAllowed:     []string{"repro/internal/runtime/track"},
 		PrintAllowed:      []string{"repro/internal/report"},
 		PrintAllowedFiles: []string{"repro/internal/obs/export.go"},

@@ -57,6 +57,34 @@ func TestAllowlistExemptsPackage(t *testing.T) {
 	}
 }
 
+// TestWallTimeAllowlistScope re-lints the walltime fixture under the
+// live-telemetry carve-out: as repro/internal/obs/live (the one library
+// package allowed wall clocks) it must go silent, while the parent
+// repro/internal/obs — and, via TestFixtures' golden, every other
+// library path — keeps firing. The waiver must not widen.
+func TestWallTimeAllowlistScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "walltime")
+
+	r := NewRunner(Default(), All()...)
+	findings, err := r.LintPackage(dir, "repro/internal/obs/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("allowlisted live package still flagged: %s", f)
+	}
+
+	r = NewRunner(Default(), All()...)
+	findings, err = r.LintPackage(dir, "repro/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("parent obs package findings = %d, want 3 (carve-out must not widen):\n%v",
+			len(findings), findings)
+	}
+}
+
 // TestDriverPackagesExempt re-lints the barego and printlib fixtures
 // under a cmd/ import path: drivers may launch goroutines and print.
 func TestDriverPackagesExempt(t *testing.T) {

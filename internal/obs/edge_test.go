@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Edge cases of the exporters the sweep harnesses never hit: recorders
+// with metrics but no spans, histogram-only recorders, and fully empty
+// recorders must all render well-formed (and loadable) artifacts.
+
+// A recorder that recorded metrics but never a span must still produce
+// a loadable Chrome trace: exactly its process_name metadata event, no
+// slices, no instants.
+func TestWriteChromeTraceMetricsOnly(t *testing.T) {
+	r := New("metrics-only")
+	r.Add("ops.total", 7)
+	r.GaugeMax("ops.inflight", 2)
+	var out strings.Builder
+	if err := WriteChromeTrace(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &events); err != nil {
+		t.Fatalf("trace not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want only the process_name meta", len(events))
+	}
+	if events[0]["name"] != "process_name" || events[0]["ph"] != "M" {
+		t.Fatalf("meta event wrong: %+v", events[0])
+	}
+	if args, ok := events[0]["args"].(map[string]any); !ok || args["name"] != "metrics-only" {
+		t.Fatalf("meta args wrong: %+v", events[0])
+	}
+}
+
+// An empty recorder (no spans, no metrics) still claims its process in
+// a multi-recorder trace; nil slots vanish without perturbing the pid
+// assignment of their neighbors.
+func TestWriteChromeTraceEmptyAndNilMix(t *testing.T) {
+	empty := New("empty")
+	var out strings.Builder
+	if err := WriteChromeTrace(&out, nil, empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Pid  int    `json:"pid"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Name != "process_name" {
+		t.Fatalf("events: %+v", events)
+	}
+	if events[0].Pid != 2 {
+		t.Fatalf("pid = %d, want positional 2 (nil slots keep their index)", events[0].Pid)
+	}
+}
+
+// JSONL of an empty recorder is zero bytes — no blank lines, no "null".
+func TestWriteJSONLEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := WriteJSONLAll(&out, nil, New("empty")); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty recorders wrote %q", out.String())
+	}
+}
+
+// A histogram-only snapshot renders every bucket row (le<bound>, +Inf,
+// sum, count) and nothing else.
+func TestWriteMetricsCSVHistogramOnly(t *testing.T) {
+	r := New("hist-only")
+	r.Observe("span.cost", 3)   // le4 bucket
+	r.Observe("span.cost", 600) // +Inf tail
+	r.Observe("span.cost", 0.5) // le1 bucket
+	var out strings.Builder
+	if err := r.WriteMetricsCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 10 bounds + +Inf + sum + count.
+	if len(recs) != 1+10+3 {
+		t.Fatalf("rows = %d:\n%s", len(recs), out.String())
+	}
+	byKey := map[string]string{}
+	for _, rec := range recs[1:] {
+		if rec[0] != "hist-only" || rec[1] != "hist" || rec[2] != "span.cost" {
+			t.Fatalf("non-histogram row in histogram-only export: %v", rec)
+		}
+		byKey[rec[3]] = rec[4]
+	}
+	if byKey["le1"] != "1" || byKey["le4"] != "1" || byKey["+Inf"] != "1" {
+		t.Fatalf("bucket counts wrong: %v", byKey)
+	}
+	if byKey["count"] != "3" || byKey["sum"] != "603.5" {
+		t.Fatalf("sum/count wrong: %v", byKey)
+	}
+}
+
+// A metrics-only snapshot (counters+gauges+series, no spans and no
+// histograms) exports exactly its rows; a nil recorder only the header.
+func TestWriteMetricsCSVMetricsOnlyAndNil(t *testing.T) {
+	r := New("m")
+	r.Add("msgs.total", 5)
+	r.GaugeMax("depth.max", 4)
+	r.AddAt("node.entries", 2, 1)
+	var out strings.Builder
+	if err := WriteMetricsCSVAll(&out, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + counter + gauge + series[0..2].
+	if len(recs) != 1+1+1+3 {
+		t.Fatalf("rows = %d:\n%s", len(recs), out.String())
+	}
+	if r.SpanCount() != 0 {
+		t.Fatalf("metrics-only recorder has %d spans", r.SpanCount())
+	}
+
+	out.Reset()
+	var nilRec *Recorder
+	if err := nilRec.WriteMetricsCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "run,type,name,key,value" {
+		t.Fatalf("nil recorder CSV = %q, want header only", out.String())
+	}
+}
+
+// WriteText covers the same three shapes without panicking and names
+// every section it has data for.
+func TestWriteTextShapes(t *testing.T) {
+	r := New("shapes")
+	r.Add("c", 1)
+	r.Observe("h", 2)
+	r.SetSeries("s", []float64{1, 0, 3})
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"obs shapes: 0 spans", "counter", "hist", "n=1 mean=2.000", "series", "len=3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("text summary missing %q:\n%s", want, out.String())
+		}
+	}
+	var nilRec *Recorder
+	if err := nilRec.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+}

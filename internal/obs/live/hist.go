@@ -1,0 +1,111 @@
+package live
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed latency histogram, HDR-style: values below 2^subBits
+// nanoseconds land in exact unit buckets, everything above in
+// log-linear buckets — one octave split into 2^subBits sub-buckets —
+// so the relative quantile error is bounded by 2^-subBits (~3%) at any
+// magnitude from nanoseconds to hours. The layout is fixed at compile
+// time: recording is a few atomic adds on a preallocated counter
+// array, never an allocation, and snapshots are cross-run comparable.
+
+const (
+	// histSubBits sets the per-octave resolution: 32 sub-buckets,
+	// ~3.1% worst-case relative error on reported percentiles.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histSlots covers the full non-negative int64 range: unit buckets
+	// 0..histSub-1, then (64-histSubBits) octaves of histSub sub-buckets.
+	histSlots = (64 - histSubBits + 1) * histSub
+)
+
+// histogram is one op class's latency distribution. All fields are
+// atomics: Observe never takes a lock.
+type histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // exact maximum, nanoseconds
+	buckets [histSlots]atomic.Int64
+}
+
+// histSlot maps a non-negative nanosecond value to its bucket index
+// (monotone, contiguous, total over uint64).
+func histSlot(u uint64) int {
+	if u < histSub {
+		return int(u)
+	}
+	major := bits.Len64(u) - histSubBits // >= 1
+	sub := u >> uint(major-1)            // in [histSub, 2*histSub)
+	return major*histSub + int(sub-histSub)
+}
+
+// histSlotUpper returns the largest value mapping to slot s — the
+// conservative (upper-edge) representative used for percentiles.
+func histSlotUpper(s int) int64 {
+	if s < histSub {
+		return int64(s)
+	}
+	major := s / histSub
+	sub := uint64(histSub + s%histSub)
+	return int64((sub+1)<<uint(major-1) - 1)
+}
+
+// observe records one latency. Negative durations (clock steps) clamp
+// to zero rather than corrupting the layout.
+func (h *histogram) observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[histSlot(uint64(ns))].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// load copies the bucket counters (a torn read across concurrent
+// observes is fine: each counter is individually atomic and quantiles
+// are statistical by nature).
+func (h *histogram) load(counts *[histSlots]int64) (count, sum, max int64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return h.count.Load(), h.sum.Load(), h.max.Load()
+}
+
+// quantileOf walks the cumulative distribution to the q-quantile's
+// bucket and returns its upper edge, capped at the exact observed max.
+func quantileOf(counts *[histSlots]int64, total, max int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range counts {
+		cum += counts[i]
+		if cum >= rank {
+			if v := histSlotUpper(i); v < max || max == 0 {
+				return v
+			}
+			return max
+		}
+	}
+	return max
+}

@@ -1,0 +1,120 @@
+package live
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"time"
+
+	"repro/internal/runtime/track"
+)
+
+// Publish captures a snapshot and installs it as the recorder's
+// latest published view (what Latest and the expvar hook serve).
+func (r *Recorder) Publish() {
+	if r == nil {
+		return
+	}
+	s := r.Snapshot()
+	r.published.Store(&s)
+}
+
+// Latest returns the most recently published snapshot, or a fresh one
+// if nothing has been published yet (so the /debug/live endpoint is
+// never stale-empty on a young server).
+func (r *Recorder) Latest() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	if s := r.published.Load(); s != nil {
+		return *s
+	}
+	return r.Snapshot()
+}
+
+// Publisher periodically re-publishes a recorder's snapshot on a
+// background goroutine (launched via track.Group, per the barego
+// discipline). Stop it before discarding the recorder.
+type Publisher struct {
+	quit chan struct{}
+	g    track.Group
+	once sync.Once
+}
+
+// StartPublisher publishes the recorder every interval until Stop.
+// interval defaults to one second when non-positive. Returns nil on a
+// nil recorder.
+func (r *Recorder) StartPublisher(interval time.Duration) *Publisher {
+	if r == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Publisher{quit: make(chan struct{})}
+	p.g.Go(func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				r.Publish()
+			case <-p.quit:
+				return
+			}
+		}
+	})
+	return p
+}
+
+// Stop halts the publish loop and waits for its goroutine to exit.
+// Safe to call more than once, and on a nil Publisher.
+func (p *Publisher) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.quit) })
+	p.g.Wait()
+}
+
+// expvar's registry is process-global and panics on duplicate names,
+// so the live vars publish through one registered Func per name that
+// indirects into a swappable recorder registry: re-registering a label
+// (tests, server restarts within a process) just repoints the entry.
+var (
+	expvarMu   sync.Mutex
+	expvarRecs = map[string]*Recorder{}
+	expvarOnce = map[string]*sync.Once{}
+)
+
+// PublishExpvar exposes the recorder's latest snapshot as the expvar
+// variable "live.<label>" (served by /debug/vars). Registering the
+// same label again repoints it at the new recorder.
+func (r *Recorder) PublishExpvar() {
+	if r == nil {
+		return
+	}
+	name := "live." + r.label
+	expvarMu.Lock()
+	expvarRecs[name] = r
+	once, ok := expvarOnce[name]
+	if !ok {
+		once = new(sync.Once)
+		expvarOnce[name] = once
+	}
+	expvarMu.Unlock()
+	once.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			rec := expvarRecs[name]
+			expvarMu.Unlock()
+			return rec.Latest()
+		}))
+	})
+}
+
+// MarshalSnapshotJSON renders a snapshot as indented JSON — shared by
+// the /debug/live handler and tests so both serve the same bytes.
+func MarshalSnapshotJSON(s Snapshot) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

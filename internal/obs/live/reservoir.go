@@ -1,0 +1,88 @@
+package live
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sample is one recorded span kept by the reservoir.
+type Sample struct {
+	// Class is the operation class name ("publish", "move", ...).
+	Class string `json:"class"`
+	// Object is the tracked object the op concerned (-1 when none).
+	Object int `json:"object"`
+	// Start is the span's wall-clock start, Unix nanoseconds.
+	Start int64 `json:"start_unix_ns"`
+	// DurNs is the span's wall-clock duration in nanoseconds.
+	DurNs int64 `json:"dur_ns"`
+	// Err records whether the operation returned an error.
+	Err bool `json:"err"`
+}
+
+// reservoir keeps a uniform random sample of the spans offered to it
+// in a fixed-size buffer (Vitter's Algorithm R). Memory is bounded by
+// construction: the buffer is allocated once at init and only
+// overwritten in place. Replacement decisions come from a seeded
+// SplitMix64 stream so two recorders fed the same span sequence with
+// the same seed keep byte-identical samples.
+type reservoir struct {
+	mu   sync.Mutex
+	buf  []Sample
+	seen int64
+	rng  uint64
+}
+
+func (rv *reservoir) init(capacity int, seed int64) {
+	rv.buf = make([]Sample, 0, capacity)
+	rv.rng = uint64(seed)
+}
+
+// splitmix64 advances the replacement stream (Steele, Lea & Flood's
+// SplitMix64 — one multiply-xorshift round per draw, no allocation).
+func (rv *reservoir) splitmix64() uint64 {
+	rv.rng += 0x9e3779b97f4a7c15
+	z := rv.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// offer considers s for inclusion. The first cap(buf) spans are always
+// kept; span number n>cap thereafter replaces a uniformly random slot
+// with probability cap/n, so every offered span is equally likely to
+// be present at any point.
+func (rv *reservoir) offer(s Sample) {
+	rv.mu.Lock()
+	rv.seen++
+	if len(rv.buf) < cap(rv.buf) {
+		rv.buf = append(rv.buf, s)
+	} else if n := cap(rv.buf); n > 0 {
+		if j := rv.splitmix64() % uint64(rv.seen); j < uint64(n) {
+			rv.buf[j] = s
+		}
+	}
+	rv.mu.Unlock()
+}
+
+// stats returns (spans offered, spans currently held).
+func (rv *reservoir) stats() (seen int64, kept int) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return rv.seen, len(rv.buf)
+}
+
+// samples copies the current contents, ordered by span start for
+// stable presentation.
+func (rv *reservoir) samples() []Sample {
+	rv.mu.Lock()
+	out := make([]Sample, len(rv.buf))
+	copy(out, rv.buf)
+	rv.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}

@@ -10,41 +10,77 @@ import (
 	"repro/internal/experiments"
 )
 
+// churnHasLive reports whether any schedule carries a live wall-clock
+// snapshot (ChurnConfig.LiveTelemetry on a runtime-enabled run).
+func churnHasLive(res *experiments.ChurnResult) bool {
+	for i := range res.Schedules {
+		if res.Schedules[i].Live != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // MarkdownChurn renders the churn tier outcome as a Markdown table, one
 // row per seeded schedule. The recovery ratio column is the tentpole's
 // headline number: incremental repair's metered recovery traffic over the
-// rebuild-from-scratch baseline's on the identical schedule.
+// rebuild-from-scratch baseline's on the identical schedule. When live
+// telemetry rode along on the runtime replay, p50/p99 wall-clock ms
+// columns join the table; without it the bytes match earlier releases
+// exactly (the golden tier pins this).
 func MarkdownChurn(w io.Writer, res *experiments.ChurnResult) error {
+	withLive := churnHasLive(res)
 	var b strings.Builder
-	fmt.Fprintf(&b, "| schedule | seed | fail events | availability | cost ratio | repair cost | repair ops | rebuild cost | rebuild ops | recovery ratio | relabels | runtime lost |\n")
-	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	if withLive {
+		fmt.Fprintf(&b, "| schedule | seed | fail events | availability | cost ratio | repair cost | repair ops | rebuild cost | rebuild ops | recovery ratio | relabels | runtime lost | p50 ms | p99 ms |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	} else {
+		fmt.Fprintf(&b, "| schedule | seed | fail events | availability | cost ratio | repair cost | repair ops | rebuild cost | rebuild ops | recovery ratio | relabels | runtime lost |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	}
 	for i := range res.Schedules {
 		s := &res.Schedules[i]
-		fmt.Fprintf(&b, "| %d | %d | %d | %.3f | %.3f | %.1f | %d | %.1f | %d | %.3f | %d | %d |\n",
+		fmt.Fprintf(&b, "| %d | %d | %d | %.3f | %.3f | %.1f | %d | %.1f | %d | %.3f | %d | %d |",
 			s.Index, s.Seed, s.FailEvents,
 			s.Availability(), s.CostRatio(),
 			s.RepairRecoveryCost, s.RepairRecoveryOps,
 			s.RebuildRecoveryCost, s.RebuildRecoveryOps,
 			s.RecoveryRatio(), s.Relabels, s.RunFailed)
+		if withLive {
+			if s.Live != nil {
+				fmt.Fprintf(&b, " %.3f | %.3f |", float64(s.Live.Total.P50Ns)/1e6, float64(s.Live.Total.P99Ns)/1e6)
+			} else {
+				b.WriteString(" - | - |")
+			}
+		}
+		b.WriteString("\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
 // CSVChurn writes the churn tier outcome as CSV, one row per schedule.
+// Live-telemetry p50/p99 ms columns append only when a schedule carries
+// a live snapshot, keeping live-off bytes identical to earlier
+// releases.
 func CSVChurn(w io.Writer, res *experiments.ChurnResult) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	withLive := churnHasLive(res)
+	header := []string{
 		"schedule", "seed", "fail_events", "recover_events",
 		"ops_issued", "ops_masked", "availability", "cost_ratio",
 		"repair_cost", "repair_ops", "rebuild_cost", "rebuild_ops",
 		"recovery_ratio", "relabels", "run_failed",
-	}); err != nil {
+	}
+	if withLive {
+		header = append(header, "p50_ms", "p99_ms")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i := range res.Schedules {
 		s := &res.Schedules[i]
-		if err := cw.Write([]string{
+		row := []string{
 			strconv.Itoa(s.Index),
 			strconv.FormatInt(s.Seed, 10),
 			strconv.Itoa(s.FailEvents),
@@ -60,7 +96,16 @@ func CSVChurn(w io.Writer, res *experiments.ChurnResult) error {
 			fmt.Sprintf("%.4f", s.RecoveryRatio()),
 			strconv.Itoa(s.Relabels),
 			strconv.Itoa(s.RunFailed),
-		}); err != nil {
+		}
+		if withLive {
+			p50, p99 := "", ""
+			if s.Live != nil {
+				p50 = fmt.Sprintf("%.3f", float64(s.Live.Total.P50Ns)/1e6)
+				p99 = fmt.Sprintf("%.3f", float64(s.Live.Total.P99Ns)/1e6)
+			}
+			row = append(row, p50, p99)
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+)
+
+// sampleObsLive is sampleObs plus a runtime run carrying a live
+// wall-clock recorder with a known latency distribution: every op is
+// exactly 2ms, so p50 and p99 both report 2.000 (the histogram caps
+// bucket upper edges at the exact max).
+func sampleObsLive() *experiments.ObsResult {
+	res := sampleObs()
+	rtRec := obs.New("runtime")
+	rtRec.SetSeries(obs.SeriesNodeEntries, []float64{2, 0, 0, 1})
+	res.Recorders = append(res.Recorders, rtRec)
+	lrec := live.New("runtime", live.Config{})
+	for i := 0; i < 100; i++ {
+		lrec.ObserveDuration(live.ClassMove, 2*time.Millisecond, i, nil)
+	}
+	res.Live = make([]*live.Recorder, len(res.Recorders))
+	res.Live[len(res.Live)-1] = lrec
+	return res
+}
+
+func TestMarkdownObsLoadLiveColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownObsLoad(&buf, sampleObsLive(), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| p50 ms | p99 ms |") {
+		t.Fatalf("live columns missing from header:\n%s", out)
+	}
+	if !strings.Contains(out, "| runtime | 4 | 2 |") || !strings.Contains(out, " 2.000 | 2.000 |") {
+		t.Fatalf("runtime latency row wrong:\n%s", out)
+	}
+	// Runs without a live recorder show "-" placeholders.
+	if !strings.Contains(out, "| core-lb | 4 | 2 | 1.00 | 3 | 0 | 5 | 2.00 | - | - |") {
+		t.Fatalf("live-less run row wrong:\n%s", out)
+	}
+}
+
+// Live off must keep the exact pre-live layout — no latency columns.
+func TestMarkdownObsLoadLiveOffUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarkdownObsLoad(&buf, sampleObs(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "p50") {
+		t.Fatalf("latency columns leaked into a live-off report:\n%s", buf.String())
+	}
+}
+
+func TestCSVObsLoadLiveColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVObsLoad(&buf, sampleObsLive()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(recs[0], ","); got != "run,node,entries,msgs,p50_ms,p99_ms" {
+		t.Fatalf("header = %s", got)
+	}
+	var runtimeRow, lbRow []string
+	for _, r := range recs[1:] {
+		if r[0] == "runtime" && runtimeRow == nil {
+			runtimeRow = r
+		}
+		if r[0] == "core-lb" && lbRow == nil {
+			lbRow = r
+		}
+	}
+	if runtimeRow[4] != "2.000" || runtimeRow[5] != "2.000" {
+		t.Fatalf("runtime row latencies: %v", runtimeRow)
+	}
+	if lbRow[4] != "" || lbRow[5] != "" {
+		t.Fatalf("live-less run should have empty latency cells: %v", lbRow)
+	}
+}
+
+func TestMarkdownChurnLiveColumns(t *testing.T) {
+	res := sampleChurn()
+	res.Schedules[0].Live = &live.Snapshot{
+		Total: live.OpSnapshot{Count: 24, P50Ns: 1_500_000, P99Ns: 7_250_000},
+	}
+	var buf bytes.Buffer
+	if err := MarkdownChurn(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| p50 ms | p99 ms |") {
+		t.Fatalf("live columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| 0.250 | 12 | 2 | 1.500 | 7.250 |") {
+		t.Fatalf("live schedule row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 | 23 | 0 | 1.000 | 1.000 | 0.0 | 0 | 0.0 | 0 | 1.000 | 0 | 0 | - | - |") {
+		t.Fatalf("live-less schedule row wrong:\n%s", out)
+	}
+}
+
+func TestCSVChurnLiveColumns(t *testing.T) {
+	res := sampleChurn()
+	res.Schedules[1].Live = &live.Snapshot{
+		Total: live.OpSnapshot{Count: 10, P50Ns: 900_000, P99Ns: 3_000_000},
+	}
+	var buf bytes.Buffer
+	if err := CSVChurn(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Join(recs[0], ",")
+	if !strings.HasSuffix(header, "run_failed,p50_ms,p99_ms") {
+		t.Fatalf("header = %s", header)
+	}
+	n := len(recs[0])
+	if recs[1][n-2] != "" || recs[1][n-1] != "" {
+		t.Fatalf("live-less schedule should have empty latency cells: %v", recs[1])
+	}
+	if recs[2][n-2] != "0.900" || recs[2][n-1] != "3.000" {
+		t.Fatalf("live schedule latencies: %v", recs[2])
+	}
+}

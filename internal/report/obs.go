@@ -28,14 +28,24 @@ func obsLoadVectors(rec *obs.Recorder) (entries, msgs []int) {
 // MarkdownObsLoad renders the per-node load report of an observability
 // sweep: headline statistics per run, then the storage-load histogram of
 // every run that recorded one (the §5 load-balancing comparison reads
-// core-lb against core-nolb).
+// core-lb against core-nolb). When a live wall-clock recorder rode
+// along (ObsConfig.LiveTelemetry), two latency columns join the
+// headline table — p50/p99 wall-clock ms from the live histograms, "-"
+// for runs without a live recorder. Without live telemetry the output
+// is byte-identical to earlier releases.
 func MarkdownObsLoad(w io.Writer, res *experiments.ObsResult, histMax int) error {
 	if histMax < 1 {
 		histMax = experiments.DefaultHistogramMax
 	}
+	withLive := res.HasLive()
 	var b strings.Builder
-	b.WriteString("| run | nodes | max entries | mean entries | loaded nodes | nodes > 10 | max msgs | mean msgs |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	if withLive {
+		b.WriteString("| run | nodes | max entries | mean entries | loaded nodes | nodes > 10 | max msgs | mean msgs | p50 ms | p99 ms |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	} else {
+		b.WriteString("| run | nodes | max entries | mean entries | loaded nodes | nodes > 10 | max msgs | mean msgs |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	}
 	type histCol struct {
 		name string
 		ls   stats.LoadStats
@@ -48,9 +58,18 @@ func MarkdownObsLoad(w io.Writer, res *experiments.ObsResult, histMax int) error
 		entries, msgs := obsLoadVectors(rec)
 		els := stats.SummarizeLoad(entries, histMax)
 		mls := stats.SummarizeLoad(msgs, histMax)
-		fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %d | %d | %d | %.2f |\n",
+		fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %d | %d | %d | %.2f |",
 			rec.Label(), maxInt2(len(entries), len(msgs)),
 			els.Max, els.Mean, els.NonZero, els.AboveTen, mls.Max, mls.Mean)
+		if withLive {
+			if lrec := res.LiveFor(rec.Label()); lrec != nil {
+				s := lrec.Snapshot()
+				fmt.Fprintf(&b, " %.3f | %.3f |", float64(s.Total.P50Ns)/1e6, float64(s.Total.P99Ns)/1e6)
+			} else {
+				b.WriteString(" - | - |")
+			}
+		}
+		b.WriteString("\n")
 		if len(entries) > 0 {
 			cols = append(cols, histCol{name: rec.Label(), ls: els})
 		}
@@ -82,10 +101,18 @@ func MarkdownObsLoad(w io.Writer, res *experiments.ObsResult, histMax int) error
 }
 
 // CSVObsLoad writes the raw per-node vectors of every run as CSV
-// (run,node,entries,msgs); runs without a series report zeros.
+// (run,node,entries,msgs); runs without a series report zeros. With
+// live telemetry attached the per-run wall-clock p50/p99 ms ride along
+// as two extra (denormalized, per-run-constant) columns; without it the
+// bytes match earlier releases exactly.
 func CSVObsLoad(w io.Writer, res *experiments.ObsResult) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"run", "node", "entries", "msgs"}); err != nil {
+	withLive := res.HasLive()
+	header := []string{"run", "node", "entries", "msgs"}
+	if withLive {
+		header = append(header, "p50_ms", "p99_ms")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	at := func(vs []int, i int) int {
@@ -98,15 +125,25 @@ func CSVObsLoad(w io.Writer, res *experiments.ObsResult) error {
 		if rec == nil {
 			continue
 		}
+		p50, p99 := "", ""
+		if lrec := res.LiveFor(rec.Label()); lrec != nil {
+			s := lrec.Snapshot()
+			p50 = fmt.Sprintf("%.3f", float64(s.Total.P50Ns)/1e6)
+			p99 = fmt.Sprintf("%.3f", float64(s.Total.P99Ns)/1e6)
+		}
 		entries, msgs := obsLoadVectors(rec)
 		n := maxInt2(len(entries), len(msgs))
 		for i := 0; i < n; i++ {
-			if err := cw.Write([]string{
+			row := []string{
 				rec.Label(),
 				strconv.Itoa(i),
 				strconv.Itoa(at(entries, i)),
 				strconv.Itoa(at(msgs, i)),
-			}); err != nil {
+			}
+			if withLive {
+				row = append(row, p50, p99)
+			}
+			if err := cw.Write(row); err != nil {
 				return err
 			}
 		}

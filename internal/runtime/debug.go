@@ -6,7 +6,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
+	"repro/internal/obs/live"
 	"repro/internal/runtime/track"
 )
 
@@ -14,30 +16,26 @@ import (
 type DebugServer struct {
 	addr string
 	srv  *http.Server
+	pub  *live.Publisher
 	g    track.Group
 }
 
 // Addr returns the address the server listens on (host:port).
 func (s *DebugServer) Addr() string { return s.addr }
 
-// Close shuts the server down and waits for its serve loop to exit.
+// Close shuts the server down and waits for its serve loop (and the
+// live snapshot publisher, if one was started) to exit.
 func (s *DebugServer) Close() error {
 	err := s.srv.Close()
+	s.pub.Stop()
 	s.g.Wait()
 	return err
 }
 
-// ServeDebug starts an HTTP debug endpoint for the tracker on addr (use
-// "127.0.0.1:0" for an ephemeral port): /debug/obs serves the current
-// observability snapshot as JSON, /debug/load the per-node entry counts,
-// and the standard expvar and pprof handlers ride along. Strictly
-// opt-in — nothing listens unless this is called — and diagnostics only:
-// measured runs export through internal/obs writers instead.
-func (t *Tracker) ServeDebug(addr string) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// debugMux builds the tracker's diagnostics handler — split out from
+// ServeDebug so tests can drive it through httptest without binding a
+// real listener.
+func (t *Tracker) debugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -55,7 +53,52 @@ func (t *Tracker) ServeDebug(addr string) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(t.LoadByNode())
 	})
-	s := &DebugServer{addr: ln.Addr().String(), srv: &http.Server{Handler: mux}}
+	mux.HandleFunc("/debug/live", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if t.live == nil {
+			http.Error(w, `{"error":"live telemetry disabled"}`, http.StatusNotFound)
+			return
+		}
+		b, err := live.MarshalSnapshotJSON(t.live.Latest())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/debug/live/samples", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if t.live == nil {
+			http.Error(w, `{"error":"live telemetry disabled"}`, http.StatusNotFound)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.live.Samples())
+	})
+	return mux
+}
+
+// ServeDebug starts an HTTP debug endpoint for the tracker on addr (use
+// "127.0.0.1:0" for an ephemeral port): /debug/obs serves the current
+// observability snapshot as JSON, /debug/load the per-node entry counts,
+// /debug/live and /debug/live/samples the wall-clock latency snapshot
+// and sampled spans when the tracker was built with NewLive, and the
+// standard expvar and pprof handlers ride along. With live telemetry
+// attached, the snapshot republishes once a second and is also exposed
+// as the expvar "live.<label>". Strictly opt-in — nothing listens
+// unless this is called — and diagnostics only: measured runs export
+// through internal/obs writers instead.
+func (t *Tracker) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DebugServer{addr: ln.Addr().String(), srv: &http.Server{Handler: t.debugMux()}}
+	if t.live != nil {
+		t.live.PublishExpvar()
+		s.pub = t.live.StartPublisher(time.Second)
+	}
 	s.g.Go(func() { _ = s.srv.Serve(ln) })
 	return s, nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/overlay"
 	"repro/internal/runtime/track"
 )
@@ -112,6 +113,11 @@ type Tracker struct {
 	obsMu    sync.Mutex
 	obsNow   float64
 	inflight int
+
+	// Live wall-clock telemetry (nil disables — the pinned 0 allocs/op
+	// fast path): per-op latency histograms + sampled spans, served by
+	// ServeDebug's /debug/live endpoints. Never feeds measured output.
+	live *live.Recorder
 }
 
 // New starts a tracker: one goroutine per sensor node of the overlay's
@@ -134,6 +140,16 @@ func NewChaos(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector) *Tracker 
 // spans and per-node metrics into rec (nil rec behaves exactly like
 // NewChaos). The runtime's logical clock is a cost clock — see obs.go.
 func NewInstrumented(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector, rec *obs.Recorder) *Tracker {
+	return NewLive(g, ov, inj, rec, nil)
+}
+
+// NewLive is NewInstrumented plus a wall-clock telemetry sink: each
+// public operation's real elapsed time lands in lrec's histograms and
+// span reservoir (nil lrec behaves exactly like NewInstrumented and
+// keeps the zero-allocation disabled path). Unlike rec, lrec's data is
+// non-deterministic by design and never reaches measured artifacts —
+// it surfaces only through ServeDebug, expvar, and summaries.
+func NewLive(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector, rec *obs.Recorder, lrec *live.Recorder) *Tracker {
 	t := &Tracker{
 		g:       g,
 		m:       ov.Metric(),
@@ -146,6 +162,7 @@ func NewInstrumented(g *graph.Graph, ov overlay.Overlay, inj *chaos.Injector, re
 		inj:     inj,
 		crashed: make([]bool, g.N()),
 		obs:     rec,
+		live:    lrec,
 	}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan message, 256)
@@ -171,12 +188,16 @@ func (t *Tracker) Stop() {
 // Crashing affects message delivery only; operations already executing at
 // the node finish (sensor radio down, CPU alive).
 func (t *Tracker) Crash(n graph.NodeID) {
+	st := t.live.Start()
 	t.setCrashed(n, true)
+	t.live.Observe(live.ClassRecovery, st, int(n), nil)
 }
 
 // Recover marks node n as up again.
 func (t *Tracker) Recover(n graph.NodeID) {
+	st := t.live.Start()
 	t.setCrashed(n, false)
+	t.live.Observe(live.ClassRecovery, st, int(n), nil)
 }
 
 func (t *Tracker) setCrashed(n graph.NodeID, down bool) {
@@ -216,6 +237,10 @@ func (t *Tracker) FaultTrace() *chaos.Trace {
 	}
 	return t.inj.Trace()
 }
+
+// LiveRecorder returns the tracker's wall-clock telemetry sink (nil
+// when live telemetry is off).
+func (t *Tracker) LiveRecorder() *live.Recorder { return t.live }
 
 // Cost returns the total distance traveled by all messages so far.
 func (t *Tracker) Cost() float64 {
@@ -418,6 +443,13 @@ func (t *Tracker) handle(n graph.NodeID, op *opState) {
 // Publish introduces o at sensor node at and blocks until the detection
 // trail reaches the root.
 func (t *Tracker) Publish(o core.ObjectID, at graph.NodeID) error {
+	st := t.live.Start()
+	err := t.publish(o, at)
+	t.live.Observe(live.ClassPublish, st, int(o), err)
+	return err
+}
+
+func (t *Tracker) publish(o core.ObjectID, at graph.NodeID) error {
 	mu := t.objLock(o)
 	mu.Lock()
 	defer mu.Unlock()
@@ -444,6 +476,13 @@ func (t *Tracker) Publish(o core.ObjectID, at graph.NodeID) error {
 // object serialize (the one-by-one discipline); different objects proceed
 // concurrently on the node goroutines.
 func (t *Tracker) Move(o core.ObjectID, to graph.NodeID) error {
+	st := t.live.Start()
+	err := t.move(o, to)
+	t.live.Observe(live.ClassMove, st, int(o), err)
+	return err
+}
+
+func (t *Tracker) move(o core.ObjectID, to graph.NodeID) error {
 	mu := t.objLock(o)
 	mu.Lock()
 	defer mu.Unlock()
@@ -480,6 +519,13 @@ func (t *Tracker) Move(o core.ObjectID, to graph.NodeID) error {
 // Query locates o from sensor node from, returning the proxy node and the
 // communication cost of the query's search walk.
 func (t *Tracker) Query(from graph.NodeID, o core.ObjectID) (graph.NodeID, float64, error) {
+	st := t.live.Start()
+	proxy, cost, err := t.query(from, o)
+	t.live.Observe(live.ClassQuery, st, int(o), err)
+	return proxy, cost, err
+}
+
+func (t *Tracker) query(from graph.NodeID, o core.ObjectID) (graph.NodeID, float64, error) {
 	t.locMu.Lock()
 	_, ok := t.loc[o]
 	t.locMu.Unlock()
