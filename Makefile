@@ -27,17 +27,26 @@
 #                  never freezes an n×n table, plus the oracle/exact
 #                  fallback golden, the sampled exact-metering audit, and
 #                  the 10k churn cell (repair cost sublinear vs rebuild)
+#   make soak    — the opt-in serving soak tier (not part of make check):
+#                  ~60s of sustained mixed HTTP load plus a rolling chaos
+#                  drill against a live motserve server, then a graceful
+#                  drain with the service invariants asserted at
+#                  quiescence (no lost acknowledged moves, empty queues,
+#                  request p99 under the collapse SLO); MOT_SOAK_SECS
+#                  shortens it locally
 #   make bench-json — the perf-trajectory suite (frozen vs lazy metric
 #                  reads, all-pairs precompute, substrate-cache on/off
 #                  sweep throughput, oracle build/read vs exact, a 10k
 #                  oracle scale cell, a churn cell with the
-#                  repair-vs-rebuild ratio, and the live-telemetry
+#                  repair-vs-rebuild ratio, the live-telemetry
 #                  overhead pins: nil-sink allocs and runtime ops with
-#                  live on vs off) written to BENCH_09.json; CI
-#                  uploads the file as an artifact
+#                  live on vs off, and the motserve serving rows:
+#                  publish/move/query ops through the sharded HTTP front
+#                  end) written to BENCH_10.json; CI uploads the file as
+#                  an artifact
 #   make bench-gate — the CI regression gate: re-measure the suite into
 #                  BENCH_current.json (never committed) and diff it
-#                  against the committed BENCH_09.json baseline with
+#                  against the committed BENCH_10.json baseline with
 #                  cmd/benchdiff — >15% ns/op growth or any allocs/op
 #                  growth on a pinned benchmark fails; benchdiff.md
 #                  holds the delta table CI uploads
@@ -48,7 +57,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/experiments ./internal/runtime ./internal/runtime/track ./internal/mobility ./internal/graph
+RACE_PKGS = ./internal/experiments ./internal/runtime ./internal/runtime/track ./internal/mobility ./internal/graph ./internal/serve
 RACE_RUN  = 'TestRace|TestParallel|TestGolden|TestStream|TestConcurrent|TestOracle'
 
 CHAOS_PKGS = ./internal/chaos ./internal/core ./internal/sim ./internal/runtime ./internal/experiments .
@@ -61,7 +70,7 @@ CHURN_RUN  = 'TestChurn|TestGoldenChurn|TestStaleObjects|TestHierRepair|TestExcl
 # above; raise the floor as coverage grows, never lower it to pass).
 COVER_MIN = 79
 
-.PHONY: check fmt vet build test race chaos churn scale lint cover bench bench-json bench-gate
+.PHONY: check fmt vet build test race chaos churn scale soak lint cover bench bench-json bench-gate
 
 check: fmt vet build test race chaos churn scale bench lint
 
@@ -92,6 +101,9 @@ churn:
 scale:
 	$(GO) test -run 'TestScaleOracle|TestGoldenScaleOracle' -timeout 5m ./internal/experiments
 
+soak:
+	MOT_SOAK=1 $(GO) test -race -run TestSoakServe -timeout 10m -v ./internal/serve
+
 lint:
 	$(GO) run ./cmd/motlint -sarif motlint.sarif ./...
 
@@ -108,8 +120,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 bench-json:
-	$(GO) run ./cmd/motsim -benchjson BENCH_09.json
+	$(GO) run ./cmd/motsim -benchjson BENCH_10.json
 
 bench-gate:
 	$(GO) run ./cmd/motsim -benchjson BENCH_current.json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_09.json -current BENCH_current.json -md benchdiff.md
+	$(GO) run ./cmd/benchdiff -baseline BENCH_10.json -current BENCH_current.json -md benchdiff.md

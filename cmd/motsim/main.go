@@ -26,7 +26,7 @@
 //
 // -churn rate,seed runs the sustained-churn tier instead of a figure:
 // seeded fail/recover schedules (rate is the fraction of sensors failed
-// per epoch, clamped to the paper's 1–10% regime) interleaved with
+// per epoch, within the paper's 1–10% regime) interleaved with
 // tracking operations on the incremental repair engine, a rebuild
 // baseline, a fault-free control, and the de Bruijn relabeling, with the
 // recovery SLO asserted after every epoch. The summary is byte-identical
@@ -154,19 +154,9 @@ func runObs(trace, metrics, chrome string, size int, seed int64, workers int, li
 // message drop rate (0 selects the default mix); delay and crash rates
 // keep their tier defaults. format picks the renderer (text, md, csv).
 func runChaos(spec string, workers int, format string) {
-	parts := strings.Split(spec, ",")
-	if len(parts) != 2 {
-		fmt.Fprintf(os.Stderr, "motsim: -chaos wants seed,rate (e.g. -chaos 1,0.15), got %q\n", spec)
-		os.Exit(2)
-	}
-	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	seed, rate, err := parseChaosSpec(spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "motsim: -chaos seed %q: %v\n", parts[0], err)
-		os.Exit(2)
-	}
-	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-	if err != nil || rate < 0 || rate > 1 {
-		fmt.Fprintf(os.Stderr, "motsim: -chaos rate %q must be a probability\n", parts[1])
+		fmt.Fprintf(os.Stderr, "motsim: %v\n", err)
 		os.Exit(2)
 	}
 	res, err := experiments.RunChaos(experiments.ChaosConfig{
@@ -193,23 +183,13 @@ func runChaos(spec string, workers int, format string) {
 }
 
 // runChurn parses "rate,seed" and runs the sustained-churn tier: rate is
-// the per-epoch fraction of failed sensors (the tier clamps to the 1–10%
-// regime), seed salts every schedule stream. format picks the renderer
-// (text, md, csv).
+// the per-epoch fraction of failed sensors in the paper's 1–10% regime
+// (anything outside is a usage error), seed salts every schedule stream.
+// format picks the renderer (text, md, csv).
 func runChurn(spec string, workers int, format string) {
-	parts := strings.Split(spec, ",")
-	if len(parts) != 2 {
-		fmt.Fprintf(os.Stderr, "motsim: -churn wants rate,seed (e.g. -churn 0.05,7), got %q\n", spec)
-		os.Exit(2)
-	}
-	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
-	if err != nil || rate <= 0 || rate > 1 {
-		fmt.Fprintf(os.Stderr, "motsim: -churn rate %q must be a fraction in (0,1]\n", parts[0])
-		os.Exit(2)
-	}
-	seed, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	rate, seed, err := parseChurnSpec(spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "motsim: -churn seed %q: %v\n", parts[1], err)
+		fmt.Fprintf(os.Stderr, "motsim: %v\n", err)
 		os.Exit(2)
 	}
 	res, err := experiments.RunChurn(experiments.ChurnConfig{

@@ -1,6 +1,6 @@
 // Package bench runs the substrate and harness benchmark suite behind
 // `make bench-json` / `motsim -benchjson` and renders it as a
-// machine-readable JSON artifact (BENCH_09.json) so CI can track the
+// machine-readable JSON artifact (BENCH_10.json) so CI can track the
 // perf trajectory release over release. Rows marked Pinned are enforced
 // by the regression gate (internal/bench/diff behind `make bench-gate`):
 // >15% ns/op growth or any allocs/op growth against the committed
@@ -21,21 +21,31 @@
 // — and the PR-9 live-telemetry overhead contract: live/nil-sink pins
 // the disabled fast path at 0 allocs/op, and runtime/ops-live-on vs
 // -off pins enabled overhead ≤10% ns/op on a runtime Move+Query round
-// trip (the measured gap rides along as overhead_pct).
+// trip (the measured gap rides along as overhead_pct) — and the PR-10
+// serving rows: serve/ops-publish|move|query each pin one full HTTP
+// round trip through the sharded motserve front end (mux dispatch,
+// shard hash, batched move drain, ack) with ops_per_sec and the
+// server-side p50/p99 riding along as extras.
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/obs/live"
 	motruntime "repro/internal/runtime"
+	"repro/internal/serve"
 )
 
 // Result is one benchmark's outcome in flat, diff-friendly units.
@@ -340,6 +350,97 @@ func runtimeOps(name string, lrec *live.Recorder) Result {
 	return res
 }
 
+// serveOps measures one full HTTP round trip of the named op class
+// against a live sharded serving front end: request encode, mux
+// dispatch, shard hash, the tracker op (through the batched drain loop
+// for moves, ack awaited), and response decode, serialized over a
+// keep-alive connection. Extra carries client-side ops_per_sec plus the
+// server-side p50/p99 for the class from the service-level recorder.
+//
+// The alloc columns are deliberately zeroed: testing.Benchmark counts
+// heap churn from every goroutine in the process, and here that spans
+// the HTTP client, the server's handlers, and the per-shard drain
+// loops, so allocs/op is scheduler noise rather than a per-op contract.
+// The pin these rows enforce is ns/op (the gate's 15% band).
+func serveOps(class string) Result {
+	s, err := serve.New(serve.Config{Shards: 4, Nodes: 64, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			panic(err)
+		}
+		ts.Close()
+	}()
+	do := func(method, path, body string) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			panic(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("%s %s: status %d", method, path, resp.StatusCode))
+		}
+	}
+	n := s.Graph().N()
+	var r testing.BenchmarkResult
+	switch class {
+	case "publish":
+		// Republishing is a 409, so every iteration registers a fresh
+		// object; next persists across the calibration reruns.
+		next := 0
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				next++
+				do("POST", "/v1/publish", fmt.Sprintf(`{"object":%d,"node":%d}`, next, next%n))
+			}
+		})
+	case "move":
+		do("POST", "/v1/publish", `{"object":1,"node":0}`)
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				do("POST", "/v1/move", fmt.Sprintf(`{"object":1,"to":%d}`, 1+i%(n-2)))
+			}
+		})
+	case "query":
+		do("POST", "/v1/publish", `{"object":1,"node":0}`)
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				do("GET", "/v1/query/1", "")
+			}
+		})
+	default:
+		panic("serveOps: unknown class " + class)
+	}
+	res := toResult("serve/ops-"+class, r, nil)
+	res.AllocsPerOp, res.BytesPerOp = 0, 0
+	res.Pinned = true
+	extra := map[string]float64{"ops_per_sec": 1e9 / res.NsPerOp}
+	for _, op := range s.Snapshot().Request.Ops {
+		if op.Class == class {
+			extra["p50_ns"] = float64(op.P50Ns)
+			extra["p99_ns"] = float64(op.P99Ns)
+		}
+	}
+	res.Extra = extra
+	return res
+}
+
 // Run executes the whole suite. It takes a few seconds.
 func Run() *Report {
 	benchmarks := []Result{
@@ -364,6 +465,9 @@ func Run() *Report {
 	benchmarks = append(benchmarks, oracleBuild(1024, true)...)
 	benchmarks = append(benchmarks, oracleBuild(10000, false)...)
 	benchmarks = append(benchmarks, scaleCell(), churnCell())
+	for _, class := range []string{"publish", "move", "query"} {
+		benchmarks = append(benchmarks, best(3, func() Result { return serveOps(class) }))
+	}
 	return &Report{
 		Schema:     "mot-bench/v1",
 		GoOS:       runtime.GOOS,

@@ -548,10 +548,17 @@ func (o *Oracle) BallSize(u NodeID, r float64) int {
 	return c
 }
 
-// Diameter returns +Inf for disconnected graphs and otherwise the upper
-// bound 2·min_l ecc(l) over the landmark rows, which is within a factor
-// 2 of the true diameter (D ≤ 2·ecc(l) ≤ 2·D for every l). Cached after
-// the first call.
+// Diameter returns the upper bound 2·min_l ecc(l) over the landmark
+// rows, which is within a factor 2 of the true diameter
+// (D ≤ 2·ecc(l) ≤ 2·D for every l). The edge semantics match
+// Metric.Diameter exactly: 0 for graphs with fewer than two nodes, and
+// +Inf for disconnected graphs — every landmark row then carries an Inf
+// entry for the other components, so every eccentricity (and the bound)
+// is +Inf. A landmark-free oracle at n ≥ 2 cannot happen (pickLandmarks
+// places at least one landmark per component), but if it ever did the
+// answer is the vacuous bound +Inf, never 0: a 0 would tell callers
+// sizing doubling sweeps or ball radii that the graph is a point.
+// Cached after the first call.
 func (o *Oracle) Diameter() float64 {
 	o.diamOnce.Do(func() {
 		n := o.g.N()
@@ -571,6 +578,9 @@ func (o *Oracle) Diameter() float64 {
 				best = 2 * ecc
 			}
 		}
+		// best is still +Inf when there are no landmark rows (vacuous
+		// bound) or the graph is disconnected (every ecc is +Inf) —
+		// both deliberately +Inf, matching Metric.Diameter.
 		o.diam = best
 	})
 	return o.diam

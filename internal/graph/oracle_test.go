@@ -301,6 +301,62 @@ func TestOracleDiameterUpperBound(t *testing.T) {
 	}
 }
 
+// TestOracleDiameterEdgeSemantics pins the tiny/disconnected edge of
+// the Diameter contract against Metric.Diameter, case by case: 0 only
+// for graphs with fewer than two nodes, +Inf the moment a second
+// component exists — never 0 for a graph that isn't a point. These are
+// exactly the shapes where a zero-landmark-ish accident (empty rows,
+// isolated singleton components) could leak a bogus finite bound to
+// callers sizing doubling sweeps off it.
+func TestOracleDiameterEdgeSemantics(t *testing.T) {
+	pair := New(2)
+	pair.MustAddEdge(0, 1, 3)
+	pathPlusIsolated := New(4)
+	pathPlusIsolated.MustAddEdge(0, 1, 1)
+	pathPlusIsolated.MustAddEdge(1, 2, 1)
+	twoComponents := New(5)
+	twoComponents.MustAddEdge(0, 1, 2)
+	twoComponents.MustAddEdge(2, 3, 1)
+	twoComponents.MustAddEdge(3, 4, 1)
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+		want float64
+	}{
+		{"empty", New(0), 0},
+		{"singleton", New(1), 0},
+		{"two isolated", New(2), math.Inf(1)},
+		{"single edge", pair, 6}, // 2·ecc of either endpoint
+		{"path plus isolated", pathPlusIsolated, math.Inf(1)},
+		{"two components", twoComponents, math.Inf(1)},
+		{"all isolated", New(5), math.Inf(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 9, 42} {
+				o := NewOracle(tc.g, OracleConfig{Landmarks: 2, BallK: 2, Seed: seed})
+				got := o.Diameter()
+				if math.IsInf(tc.want, 1) {
+					if !math.IsInf(got, 1) {
+						t.Fatalf("seed %d: Diameter = %v, want +Inf", seed, got)
+					}
+				} else if tc.want == 0 {
+					if got != 0 {
+						t.Fatalf("seed %d: Diameter = %v, want 0", seed, got)
+					}
+				} else if got < tc.want/2-eps || got > tc.want+eps {
+					// A 2·ecc bound on a connected graph: within [D, 2D].
+					t.Fatalf("seed %d: Diameter = %v, want in [%v,%v]", seed, got, tc.want/2, tc.want)
+				}
+				// The exact metric must agree on every finite/Inf/zero class.
+				exact := NewMetric(tc.g).Diameter()
+				if math.IsInf(exact, 1) != math.IsInf(got, 1) || (exact == 0) != (got == 0) {
+					t.Fatalf("seed %d: oracle %v vs metric %v disagree on edge class", seed, got, exact)
+				}
+			}
+		})
+	}
+}
+
 // TestOracleMetricInterchange pins the two implementations behind the
 // shared interface: Metric reports stretch 1, Near agrees between them,
 // and EstimateDoubling over the exact implementation reproduces

@@ -1,16 +1,22 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/obs/live"
 	"repro/internal/runtime/track"
 )
+
+// closeTimeout bounds how long Close waits for in-flight debug requests
+// before cutting their connections.
+const closeTimeout = 5 * time.Second
 
 // DebugServer is the opt-in diagnostics endpoint of a live tracker.
 type DebugServer struct {
@@ -18,19 +24,50 @@ type DebugServer struct {
 	srv  *http.Server
 	pub  *live.Publisher
 	g    track.Group
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Addr returns the address the server listens on (host:port).
 func (s *DebugServer) Addr() string { return s.addr }
 
-// Close shuts the server down and waits for its serve loop (and the
-// live snapshot publisher, if one was started) to exit.
+// Close tears the endpoint down in dependency order: first the HTTP
+// server via Shutdown — which waits for in-flight handlers, so a
+// /debug/live request racing the teardown finishes against a live
+// publisher rather than observing it mid-stop — then the snapshot
+// publisher, then the serve loop. Requests that outstay closeTimeout
+// get their connections cut instead of stalling the teardown forever.
+//
+// Close is idempotent and safe to call concurrently with itself and
+// with Tracker.Stop: every call blocks until the first teardown
+// finishes and returns its error. Callers shutting a tracker down
+// should Close the debug server before Stop so no handler can observe
+// the tracker mid-stop.
 func (s *DebugServer) Close() error {
-	err := s.srv.Close()
-	s.pub.Stop()
-	s.g.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// Drain budget exhausted (or the context tree was torn down):
+			// cut the straggler connections. Shutdown already closed the
+			// listener, so nothing new gets in either way.
+			err = s.srv.Close()
+		}
+		s.pub.Stop()
+		s.g.Wait()
+		s.closeErr = err
+	})
+	return s.closeErr
 }
+
+// DebugMux returns the tracker's diagnostics handler — what ServeDebug
+// serves — so front ends (internal/serve mounts one per shard) and
+// tests can mount it under their own prefix without binding a listener.
+// The /debug/live endpoints fall back to an on-demand snapshot when no
+// Publisher runs, so the mux is self-contained.
+func (t *Tracker) DebugMux() *http.ServeMux { return t.debugMux() }
 
 // debugMux builds the tracker's diagnostics handler — split out from
 // ServeDebug so tests can drive it through httptest without binding a

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hier"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/runtime/track"
 )
 
 // newLiveTracker builds a tracker with both observability layers
@@ -168,11 +169,90 @@ func TestServeDebugLive(t *testing.T) {
 	}
 }
 
+// TestRaceDebugCloseDuringStop is the shutdown-ordering regression for
+// the debug endpoint: /debug/live requests hammer the server while the
+// tracker stops and the server closes, from several goroutines at once.
+// Before DebugServer.Close switched to a Shutdown-first teardown, an
+// in-flight handler could still be reading the live recorder while the
+// publisher and tracker were being torn down around it; Close also
+// wasn't guarded, so concurrent or repeated Closes raced on the serve
+// loop's Wait. Runs in the -race smoke tier.
+func TestRaceDebugCloseDuringStop(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		g := graph.Grid(4, 4)
+		m := graph.NewMetric(g)
+		hs, err := hier.Build(g, m, hier.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lrec := live.New("race-debug", live.Config{SampleSize: 32, Seed: 1})
+		tr := NewLive(g, hs, nil, nil, lrec)
+		srv, err := tr.ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Publish(1, 0); err != nil {
+			t.Fatal(err)
+		}
+
+		var hammers track.Group
+		stop := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			hammers.Go(func() {
+				client := &http.Client{Timeout: 2 * time.Second}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, path := range []string{"/debug/live", "/debug/live/samples"} {
+						resp, err := client.Get("http://" + srv.Addr() + path)
+						if err != nil {
+							// Connection refused/reset once the teardown has
+							// won the race is the expected outcome here.
+							return
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			})
+		}
+
+		// Generate traffic, then tear everything down while requests are
+		// still in flight: Close and Stop race each other and themselves.
+		for i := 0; i < 10; i++ {
+			if err := tr.Move(1, graph.NodeID(1+i%14)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var teardown track.Group
+		errs := make([]error, 2)
+		teardown.Go(func() { errs[0] = srv.Close() })
+		teardown.Go(func() { errs[1] = srv.Close() })
+		teardown.Go(tr.Stop)
+		teardown.Wait()
+		if errs[0] != errs[1] {
+			t.Fatalf("double Close disagreed: %v vs %v", errs[0], errs[1])
+		}
+		if errs[0] != nil {
+			t.Fatalf("Close: %v", errs[0])
+		}
+		// A Close after the fact stays a no-op with the same answer.
+		if err := srv.Close(); err != nil {
+			t.Fatalf("repeated Close: %v", err)
+		}
+		close(stop)
+		hammers.Wait()
+	}
+}
+
 // TestLiveOverheadBudget sanity-checks the overhead contract outside
 // the bench harness: the same op sequence with live telemetry on must
 // not blow past the live-off time. The precise ≤10% pin lives in
 // internal/bench (runtime/ops-live-on vs -off, recorded in
-// BENCH_09.json); here we take min-of-3 trials and assert a loose 1.5×
+// BENCH_10.json); here we take min-of-3 trials and assert a loose 1.5×
 // ceiling so scheduler noise on 1-CPU CI can't flake the tier.
 func TestLiveOverheadBudget(t *testing.T) {
 	if testing.Short() {

@@ -15,6 +15,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,18 @@ type result struct {
 	cost  float64
 	err   error
 }
+
+// Client-fault classification of operation errors, so front ends
+// (internal/serve) can map them to request-level statuses without
+// string matching. Both wrap into the same messages as before.
+var (
+	// ErrAlreadyPublished reports a Publish of an object that is
+	// already tracked.
+	ErrAlreadyPublished = errors.New("already published")
+	// ErrNotPublished reports a Move or Query of an object the tracker
+	// has never seen (or that was unpublished).
+	ErrNotPublished = errors.New("not published")
+)
 
 // Tracker runs the distributed MOT protocol over an overlay, one goroutine
 // per sensor node.
@@ -456,7 +469,7 @@ func (t *Tracker) publish(o core.ObjectID, at graph.NodeID) error {
 	t.locMu.Lock()
 	if _, ok := t.loc[o]; ok {
 		t.locMu.Unlock()
-		return fmt.Errorf("runtime: object %d already published", o)
+		return fmt.Errorf("runtime: object %d %w", o, ErrAlreadyPublished)
 	}
 	t.loc[o] = at
 	t.locMu.Unlock()
@@ -490,7 +503,7 @@ func (t *Tracker) move(o core.ObjectID, to graph.NodeID) error {
 	from, ok := t.loc[o]
 	if !ok {
 		t.locMu.Unlock()
-		return fmt.Errorf("runtime: object %d not published", o)
+		return fmt.Errorf("runtime: object %d %w", o, ErrNotPublished)
 	}
 	if from == to {
 		t.locMu.Unlock()
@@ -530,7 +543,7 @@ func (t *Tracker) query(from graph.NodeID, o core.ObjectID) (graph.NodeID, float
 	_, ok := t.loc[o]
 	t.locMu.Unlock()
 	if !ok {
-		return graph.Undefined, 0, fmt.Errorf("runtime: object %d not published", o)
+		return graph.Undefined, 0, fmt.Errorf("runtime: object %d %w", o, ErrNotPublished)
 	}
 	// Queries share the object's serialization lock so they never observe
 	// a half-updated trail (the runtime's one-by-one discipline).
